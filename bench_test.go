@@ -1,0 +1,352 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see the per-experiment index in DESIGN.md), plus ablations of the design
+// choices called out there. Each figure bench runs the corresponding
+// experiment at reduced-but-faithful sizes and reports the headline ratio
+// the paper's narrative rests on as a custom metric, so a regression in the
+// *shape* of a result shows up as a metric change, not just a time change.
+//
+//	go test -bench=. -benchmem
+//
+// cmd/blowfishbench prints the full tables (use -full for paper scale).
+package blowfish
+
+import (
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/core"
+	"github.com/privacylab/blowfish/internal/eval"
+	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/mech"
+	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/strategy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+func benchOpts() eval.Options {
+	return eval.Options{Runs: 2, Queries: 400, Seed: 1, DomainScale: 16} // k = 256
+}
+
+// BenchmarkTable1Datasets regenerates Table 1 (dataset statistics).
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table1Experiment(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ErrorBounds regenerates the Figure 3 error-bound table
+// (empirical error of every workload/policy row vs its DP counterpart) and
+// reports the row-1 Blowfish-vs-Privelet improvement factor.
+func BenchmarkFig3ErrorBounds(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tabs, err := eval.Fig3Experiment(eval.QuickFig3())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(tabs[0].Rows) - 1
+		ratio = tabs[0].Cells[last][1] / tabs[0].Cells[last][0]
+	}
+	b.ReportMetric(ratio, "privelet/blowfish")
+}
+
+// fig8Panel runs one Section 6 panel and returns the ratio of the first DP
+// baseline's error to the first Blowfish algorithm's error on the last row.
+func fig8Panel(b *testing.B, run func(float64, eval.Options) (*eval.Table, error), eps float64, blowCol string) float64 {
+	b.Helper()
+	tab, err := run(eps, benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	base, err := tab.Cell(last, tab.Columns[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	blow, err := tab.Cell(last, blowCol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return base / blow
+}
+
+// BenchmarkFig8Hist regenerates the Hist panels (Fig 8b at ε=0.01; Fig 8f
+// uses ε=0.1 — swept by cmd/blowfishbench).
+func BenchmarkFig8Hist(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = fig8Panel(b, eval.HistExperiment, 0.1, "Transformed + Laplace")
+	}
+	b.ReportMetric(ratio, "laplace/blowfish")
+}
+
+// BenchmarkFig8Range1DG1 regenerates the 1D-Range G¹_k panels (Fig 8c/8g).
+func BenchmarkFig8Range1DG1(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = fig8Panel(b, eval.Range1DG1Experiment, 0.1, "Transformed + Laplace")
+	}
+	b.ReportMetric(ratio, "privelet/blowfish")
+}
+
+// BenchmarkFig8Range1DG4 regenerates the 1D-Range G⁴_k domain sweep
+// (Fig 8d/8h).
+func BenchmarkFig8Range1DG4(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = fig8Panel(b, eval.Range1DG4Experiment, 0.1, "Transformed + Laplace")
+	}
+	b.ReportMetric(ratio, "privelet/blowfish")
+}
+
+// BenchmarkFig8Range2D regenerates the 2D-Range panels (Fig 8a/8e).
+func BenchmarkFig8Range2D(b *testing.B) {
+	var ratio float64
+	opts := benchOpts()
+	opts.Queries = 200
+	for i := 0; i < b.N; i++ {
+		tab, err := eval.Range2DExperiment(0.1, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		priv, _ := tab.Cell("T100", "Privelet")
+		blow, _ := tab.Cell("T100", "Transformed + Privelet")
+		ratio = priv / blow
+	}
+	b.ReportMetric(ratio, "privelet/blowfish")
+}
+
+// BenchmarkFig9Hist and friends regenerate the Figure 9 panels (ε = 1 and
+// 0.001; the large-ε end is where the data-dependent Blowfish variants win
+// almost everywhere).
+func BenchmarkFig9Hist(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = fig8Panel(b, eval.HistExperiment, 1, "Trans + Dawa + Cons")
+	}
+	b.ReportMetric(ratio, "laplace/transdawa")
+}
+
+// BenchmarkFig9Range1DG1 regenerates Fig 9c/9g.
+func BenchmarkFig9Range1DG1(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = fig8Panel(b, eval.Range1DG1Experiment, 1, "Transformed + Laplace")
+	}
+	b.ReportMetric(ratio, "privelet/blowfish")
+}
+
+// BenchmarkFig9Range1DG4 regenerates Fig 9d/9h.
+func BenchmarkFig9Range1DG4(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = fig8Panel(b, eval.Range1DG4Experiment, 1, "Transformed + Laplace")
+	}
+	b.ReportMetric(ratio, "privelet/blowfish")
+}
+
+// BenchmarkFig9Range2D regenerates Fig 9a/9e.
+func BenchmarkFig9Range2D(b *testing.B) {
+	var ratio float64
+	opts := benchOpts()
+	opts.Queries = 200
+	for i := 0; i < b.N; i++ {
+		tab, err := eval.Range2DExperiment(1, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		priv, _ := tab.Cell("T100", "Privelet")
+		blow, _ := tab.Cell("T100", "Transformed + Privelet")
+		ratio = priv / blow
+	}
+	b.ReportMetric(ratio, "privelet/blowfish")
+}
+
+// BenchmarkFig10SVD1D regenerates the Figure 10a lower-bound sweep and
+// reports the DP-to-G¹ bound ratio at the largest domain.
+func BenchmarkFig10SVD1D(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tab, err := eval.SVD1DExperiment(eval.QuickFig10())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		dp, _ := tab.Cell(last, "unbounded DP")
+		g1, _ := tab.Cell(last, "Theta=1")
+		ratio = dp / g1
+	}
+	b.ReportMetric(ratio, "dp/theta1")
+}
+
+// BenchmarkFig10SVD2D regenerates the Figure 10b sweep.
+func BenchmarkFig10SVD2D(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tab, err := eval.SVD2DExperiment(eval.QuickFig10())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		bounded, _ := tab.Cell(last, "bounded DP")
+		g1, _ := tab.Cell(last, "Theta=1")
+		ratio = bounded / g1
+	}
+	b.ReportMetric(ratio, "bounded/theta1")
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationTreeVsDenseTransform compares the O(k) subtree-sum
+// database transform against the dense pseudo-inverse on the same tree
+// policy.
+func BenchmarkAblationTreeVsDenseTransform(b *testing.B) {
+	k := 256
+	p := policy.Line(k)
+	tr, err := core.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	b.Run("tree-fast-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.DatabaseTransform(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense-pseudo-inverse", func(b *testing.B) {
+		pg := tr.PG()
+		for i := 0; i < b.N; i++ {
+			if _, err := linalg.RightInverse(pg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationOracleKinds compares the three oracle kinds inside the
+// 2-D grid strategy (Theorem 5.4): Privelet should dominate for random
+// rectangles.
+func BenchmarkAblationOracleKinds(b *testing.B) {
+	dims := []int{32, 32}
+	src := noise.NewSource(1)
+	w := workload.RandomRangesKd(dims, 300, src.Split())
+	x := make([]float64, 1024)
+	for _, kind := range []struct {
+		name string
+		k    mech.OracleKind
+	}{{"cell", mech.CellKind}, {"hier", mech.HierKind}, {"privelet", mech.PriveletKind}} {
+		kind := kind
+		b.Run(kind.name, func(b *testing.B) {
+			alg := strategy.GridPolicyRange2D(dims, kind.k)
+			var mse float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				mse, err = eval.MeasureMSE(alg, w, x, 0.5, 2, src.Split())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mse, "mse")
+		})
+	}
+}
+
+// BenchmarkAblationThetaLineStrategies compares the two implementations of
+// the G^θ_k mechanism: the plain tree path (Laplace on x_G) versus the
+// Theorem 5.5 grouped strategy with Privelet oracles.
+func BenchmarkAblationThetaLineStrategies(b *testing.B) {
+	k, theta := 1024, 16
+	src := noise.NewSource(2)
+	w := workload.RandomRanges1D(k, 400, src.Split())
+	x := make([]float64, k)
+	algs, err := strategy.ThetaLineAlgorithms(k, theta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		alg  strategy.Algorithm
+	}{
+		{"tree-laplace", algs[0]},
+		{"grouped-privelet", strategy.ThetaLineGrouped(k, theta, mech.PriveletKind)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var mse float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				mse, err = eval.MeasureMSE(tc.alg, w, x, 0.5, 2, src.Split())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mse, "mse")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot substrates ---
+
+// BenchmarkDatabaseTransformLine measures the O(k) tree transform.
+func BenchmarkDatabaseTransformLine(b *testing.B) {
+	tr, err := core.New(policy.Line(4096))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.DatabaseTransform(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPriveletOracleQuery measures one interval-noise evaluation.
+func BenchmarkPriveletOracleQuery(b *testing.B) {
+	o := mech.NewPriveletOracle(4096, 1, noise.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.IntervalNoise(100, 3000)
+	}
+}
+
+// BenchmarkGridKd3D measures the general-dimension Theorem 5.4 strategy on
+// a 3-D grid (an extension beyond the paper's 2-D evaluation).
+func BenchmarkGridKd3D(b *testing.B) {
+	dims := []int{16, 16, 16}
+	src := noise.NewSource(5)
+	w := workload.RandomRangesKd(dims, 300, src.Split())
+	x := make([]float64, 4096)
+	alg := strategy.GridPolicyRangeKd(dims)
+	b.ResetTimer()
+	var mse float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		mse, err = eval.MeasureMSE(alg, w, x, 0.5, 1, src.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mse, "mse")
+}
+
+// BenchmarkDAWA4096 measures a full DAWA run at the paper's domain size.
+func BenchmarkDAWA4096(b *testing.B) {
+	src := noise.NewSource(4)
+	x := make([]float64, 4096)
+	x[100] = 1000
+	x[2000] = 500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mech.NewDAWA(x, 0.1, 0.25, src.Split())
+	}
+}

@@ -1,0 +1,162 @@
+// Command blowfishbench regenerates the tables and figures of "Design of
+// Policy-Aware Differentially Private Algorithms" (Haney, Machanavajjhala,
+// Ding; VLDB 2016). Each experiment id names a paper artifact; see DESIGN.md
+// for the full index.
+//
+// Usage:
+//
+//	blowfishbench -exp all                  # everything, quick sizes
+//	blowfishbench -exp fig8c -full          # one panel at paper scale
+//	blowfishbench -exp fig8,fig9            # the Section 6 sweeps
+//	blowfishbench -exp fig10a,fig10b,fig3,table1
+//
+// Experiment ids: table1, fig3, fig10a, fig10b, and figNx where N∈{8,9} and
+// x∈{a..h} (fig8 and fig9 alone run all four workloads at both of that
+// figure's ε values). Results are deterministic for a fixed -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/privacylab/blowfish/internal/eval"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (see doc)")
+		full    = flag.Bool("full", false, "paper-scale sizes (k=4096, 10000 queries, 5 runs)")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		runs    = flag.Int("runs", 0, "override repetition count")
+		queries = flag.Int("queries", 0, "override random query count")
+	)
+	flag.Parse()
+	opts := eval.Quick()
+	if *full {
+		opts = eval.Defaults()
+	}
+	opts.Seed = *seed
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *queries > 0 {
+		opts.Queries = *queries
+	}
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b"}
+	}
+	for _, id := range ids {
+		if err := run(strings.TrimSpace(id), opts, *full); err != nil {
+			fmt.Fprintf(os.Stderr, "blowfishbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// panelEps maps figure panels to their ε: Figure 8 uses 0.01 (top row) and
+// 0.1 (bottom row); Figure 9 uses 1 and 0.001.
+var panelEps = map[string][2]float64{
+	"fig8": {0.01, 0.1},
+	"fig9": {1, 0.001},
+}
+
+func run(id string, opts eval.Options, full bool) error {
+	show := func(t *eval.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+		return nil
+	}
+	switch {
+	case id == "table1":
+		return show(eval.Table1Experiment(opts))
+	case id == "fig3":
+		o := eval.QuickFig3()
+		if full {
+			o = eval.DefaultFig3()
+		}
+		tabs, err := eval.Fig3Experiment(o)
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			fmt.Println(t.String())
+		}
+		return nil
+	case id == "fig10a":
+		o := fig10Options(full)
+		return show(eval.SVD1DExperiment(o))
+	case id == "fig10b":
+		o := fig10Options(full)
+		return show(eval.SVD2DExperiment(o))
+	case id == "fig8" || id == "fig9":
+		for _, eps := range panelEps[id] {
+			for _, task := range []string{"2d", "hist", "1dg1", "1dg4"} {
+				if err := runPanel(task, eps, opts); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case strings.HasPrefix(id, "fig8") || strings.HasPrefix(id, "fig9"):
+		fig := id[:4]
+		panel := id[4:]
+		eps, task, err := panelFor(fig, panel)
+		if err != nil {
+			return err
+		}
+		return runPanel(task, eps, opts)
+	default:
+		return fmt.Errorf("unknown experiment id %q", id)
+	}
+}
+
+// panelFor decodes figure panel letters: a–d are the figure's first ε,
+// e–h the second; the task cycles 2D-Range, Hist, 1D-Range G¹, 1D-Range G⁴.
+func panelFor(fig, panel string) (float64, string, error) {
+	eps, ok := panelEps[fig]
+	if !ok || len(panel) != 1 || panel[0] < 'a' || panel[0] > 'h' {
+		return 0, "", fmt.Errorf("unknown panel %s%s", fig, panel)
+	}
+	idx := int(panel[0] - 'a')
+	tasks := []string{"2d", "hist", "1dg1", "1dg4"}
+	e := eps[0]
+	if idx >= 4 {
+		e = eps[1]
+		idx -= 4
+	}
+	return e, tasks[idx], nil
+}
+
+func runPanel(task string, eps float64, opts eval.Options) error {
+	var t *eval.Table
+	var err error
+	switch task {
+	case "2d":
+		t, err = eval.Range2DExperiment(eps, opts)
+	case "hist":
+		t, err = eval.HistExperiment(eps, opts)
+	case "1dg1":
+		t, err = eval.Range1DG1Experiment(eps, opts)
+	case "1dg4":
+		t, err = eval.Range1DG4Experiment(eps, opts)
+	default:
+		return fmt.Errorf("unknown task %q", task)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func fig10Options(full bool) eval.Fig10Options {
+	if full {
+		return eval.DefaultFig10()
+	}
+	return eval.QuickFig10()
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/eval"
+)
+
+func TestPanelFor(t *testing.T) {
+	cases := []struct {
+		fig, panel string
+		eps        float64
+		task       string
+	}{
+		{"fig8", "a", 0.01, "2d"},
+		{"fig8", "b", 0.01, "hist"},
+		{"fig8", "c", 0.01, "1dg1"},
+		{"fig8", "d", 0.01, "1dg4"},
+		{"fig8", "e", 0.1, "2d"},
+		{"fig8", "h", 0.1, "1dg4"},
+		{"fig9", "a", 1, "2d"},
+		{"fig9", "g", 0.001, "1dg1"},
+	}
+	for _, tc := range cases {
+		eps, task, err := panelFor(tc.fig, tc.panel)
+		if err != nil {
+			t.Fatalf("%s%s: %v", tc.fig, tc.panel, err)
+		}
+		if eps != tc.eps || task != tc.task {
+			t.Fatalf("%s%s -> (%g, %s), want (%g, %s)", tc.fig, tc.panel, eps, task, tc.eps, tc.task)
+		}
+	}
+	if _, _, err := panelFor("fig8", "z"); err == nil {
+		t.Fatal("bad panel accepted")
+	}
+	if _, _, err := panelFor("fig7", "a"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", eval.Quick(), false); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	opts := eval.Quick()
+	opts.Runs = 1
+	if err := run("table1", opts, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSinglePanel(t *testing.T) {
+	opts := eval.Options{Runs: 1, Queries: 50, Seed: 1, DomainScale: 64}
+	if err := run("fig8f", opts, false); err != nil {
+		t.Fatal(err)
+	}
+}

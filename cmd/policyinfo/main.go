@@ -1,0 +1,143 @@
+// Command policyinfo inspects a Blowfish policy: its graph statistics, how
+// the transformational equivalence applies to it (tree / grid / spanner /
+// fallback), the resulting strategy choices for standard workloads, and the
+// policy sensitivities that drive noise calibration. It is the "what would
+// the library do" tool for picking a policy before releasing data.
+//
+// Usage:
+//
+//	policyinfo -policy line -k 64
+//	policyinfo -policy theta -k 256 -theta 8
+//	policyinfo -policy grid -k 32
+//	policyinfo -policy gridtheta -k 16 -theta 4
+//	policyinfo -policy unbounded -k 64
+//	policyinfo -policy bounded -k 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	blowfish "github.com/privacylab/blowfish"
+	"github.com/privacylab/blowfish/internal/lowerbound"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+func main() {
+	var (
+		kind  = flag.String("policy", "line", "line | theta | grid | gridtheta | unbounded | bounded")
+		k     = flag.Int("k", 64, "domain size (per side for grids)")
+		theta = flag.Int("theta", 4, "distance threshold for theta policies")
+	)
+	flag.Parse()
+	if err := run(*kind, *k, *theta); err != nil {
+		fmt.Fprintf(os.Stderr, "policyinfo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, k, theta int) error {
+	p, err := build(kind, k, theta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy        %s\n", p.Name)
+	fmt.Printf("domain        %d values", p.K)
+	if p.Dims != nil {
+		fmt.Printf(" (grid %v)", p.Dims)
+	}
+	fmt.Println()
+	fmt.Printf("bottom (⊥)    %v\n", p.HasBottom)
+	fmt.Printf("edges         %d\n", len(p.G.Edges))
+	fmt.Printf("connected     %v\n", p.Connected())
+	fmt.Printf("tree          %v\n", p.G.IsTree())
+	if p.Connected() && !p.G.IsTree() {
+		describeSpanner(p, theta)
+	}
+	describeSensitivities(p)
+	describeStrategies(p)
+	if p.K <= 64 {
+		describeLowerBound(p)
+	}
+	return nil
+}
+
+func build(kind string, k, theta int) (*blowfish.Policy, error) {
+	switch kind {
+	case "line":
+		return blowfish.LinePolicy(k), nil
+	case "theta":
+		return blowfish.DistanceThresholdPolicy([]int{k}, theta)
+	case "grid":
+		return blowfish.GridPolicy(k), nil
+	case "gridtheta":
+		return blowfish.DistanceThresholdPolicy([]int{k, k}, theta)
+	case "unbounded":
+		return blowfish.UnboundedPolicy(k), nil
+	case "bounded":
+		return blowfish.BoundedPolicy(k), nil
+	default:
+		return nil, fmt.Errorf("unknown policy kind %q", kind)
+	}
+}
+
+func describeSpanner(p *blowfish.Policy, theta int) {
+	switch {
+	case len(p.Dims) == 1 && p.Theta >= 1:
+		sp, err := policy.LineSpanner(p.K, p.Theta)
+		if err == nil {
+			fmt.Printf("spanner       H^%d_k (tree), stretch %d -> mechanisms run at eps/%d\n",
+				p.Theta, sp.Stretch, sp.Stretch)
+		}
+	case len(p.Dims) == 2:
+		sp, err := policy.GridSpanner(p.Dims, p.Theta)
+		if err == nil {
+			fmt.Printf("spanner       H^%d_{k^2}, cell %d, red lattice %v, stretch %d\n",
+				p.Theta, sp.Cell, sp.RedDims, sp.Stretch)
+		}
+	default:
+		sp, err := policy.BFSSpanner(p, 0)
+		if err == nil {
+			fmt.Printf("spanner       BFS tree, stretch %d (generic fallback)\n", sp.Stretch)
+		}
+	}
+}
+
+func describeSensitivities(p *blowfish.Policy) {
+	hist := blowfish.Histogram(p.K)
+	cum := blowfish.CumulativeHistogram(p.K)
+	fmt.Printf("sensitivity   Hist: DP=%g, policy=%g;  Cumulative: DP=%g, policy=%g\n",
+		hist.Sensitivity(), blowfish.PolicySensitivity(hist, p),
+		cum.Sensitivity(), blowfish.PolicySensitivity(cum, p))
+}
+
+func describeStrategies(p *blowfish.Policy) {
+	hist := blowfish.Histogram(p.K)
+	if alg, err := blowfish.SelectAlgorithm(hist, p, blowfish.Options{}); err == nil {
+		fmt.Printf("hist via      %s\n", alg.Name)
+	}
+	var ranges *blowfish.Workload
+	if len(p.Dims) >= 2 {
+		ranges = blowfish.RandomRangesKd(p.Dims, 8, blowfish.NewSource(1))
+	} else {
+		ranges = blowfish.AllRanges1D(p.K)
+	}
+	if alg, err := blowfish.SelectAlgorithm(ranges, p, blowfish.Options{}); err == nil {
+		fmt.Printf("ranges via    %s\n", alg.Name)
+	}
+}
+
+func describeLowerBound(p *blowfish.Policy) {
+	var w *blowfish.Workload
+	if len(p.Dims) == 2 {
+		w = workload.AllRangesKd(p.Dims)
+	} else {
+		w = blowfish.AllRanges1D(p.K)
+	}
+	b, err := lowerbound.SVDBound(w, p, 1, 0.001)
+	if err == nil {
+		fmt.Printf("SVD bound     %s at eps=1, delta=1e-3: %.4g (Cor A.2)\n", w.Name, b)
+	}
+}

@@ -1,0 +1,90 @@
+// Census-style sparse histogram: demonstrates the data-dependent Blowfish
+// pipeline of Section 5.4 — DAWA on the transformed database plus the
+// consistency (isotonic) projection — on a sparse "capital loss"-like
+// attribute, and the sensitive-attribute policy of Appendix E for a
+// relational table.
+//
+//	go run ./examples/census
+package main
+
+import (
+	"fmt"
+
+	blowfish "github.com/privacylab/blowfish"
+)
+
+func main() {
+	// Part 1: sparse histogram under the line policy.
+	const k = 512
+	x := make([]float64, k)
+	// 97% zeros, a few spikes (most people report zero capital loss).
+	x[0] = 9000
+	x[155] = 420
+	x[156] = 310
+	x[300] = 120
+	src := blowfish.NewSource(3)
+	w := blowfish.Histogram(k)
+	truth := w.Answers(x)
+	line := blowfish.LinePolicy(k)
+
+	const eps = 0.1
+	for _, est := range []struct {
+		name string
+		e    blowfish.Estimator
+	}{
+		{"Transformed + Laplace", blowfish.EstimatorLaplace},
+		{"Transformed + ConsistentEst", blowfish.EstimatorConsistent},
+		{"Trans + Dawa + Cons", blowfish.EstimatorDAWAConsistent},
+	} {
+		got, err := blowfish.Answer(w, x, line, eps, src.Split(), blowfish.Options{Estimator: est.e})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-28s per-cell MSE = %8.2f\n", est.name, mse(got, truth))
+	}
+	fmt.Println("\nConsistency exploits that the transformed database (prefix sums)")
+	fmt.Println("is non-decreasing with as many distinct values as non-zero cells;")
+	fmt.Println("on sparse data that collapses most of the noise (Section 5.4.2).")
+
+	// Part 2: a relational table with a sensitive attribute (Appendix E).
+	// Attributes: disease status (2 values, sensitive) × age group (4
+	// values, public). The policy graph is disconnected: one component per
+	// age group; membership in an age group is disclosed, disease is not.
+	dims := []int{2, 4}
+	pol, err := blowfish.SensitiveAttributePolicy(dims, []bool{true, false})
+	if err != nil {
+		panic(err)
+	}
+	comps, err := blowfish.SplitComponents(pol)
+	if err != nil {
+		panic(err)
+	}
+	table := []float64{ // counts for (disease, age) cells
+		30, 50, 60, 40, // disease = 0
+		5, 12, 20, 25, // disease = 1
+	}
+	fmt.Printf("\nsensitive-attribute policy: %d components (one per age group)\n", len(comps))
+	for ci, c := range comps {
+		local := c.Restrict(table)
+		// Each component is an independent 2-value Blowfish instance; its
+		// policy is connected, so the standard machinery answers it.
+		cw := blowfish.Histogram(len(local))
+		noisy, err := blowfish.Answer(cw, local, c.Transform.Policy, 1.0, src.Split(), blowfish.Options{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  component %d: domain values %v, true %v, released %.1f\n",
+			ci, c.Vertices, local, noisy)
+	}
+	fmt.Println("Within each component only the disease split is protected; the")
+	fmt.Println("age-group totals are public by policy choice.")
+}
+
+func mse(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}

@@ -1,0 +1,77 @@
+// Location privacy: answer 2-D range queries over a city map under a grid
+// policy — the geo-indistinguishability scenario of the paper's
+// introduction. Revealing which part of town is busy is fine; whether a
+// person was at home or at the café next door is protected.
+//
+//	go run ./examples/location
+package main
+
+import (
+	"fmt"
+
+	blowfish "github.com/privacylab/blowfish"
+)
+
+func main() {
+	const side = 32 // 32×32 grid over the map
+	dims := []int{side, side}
+
+	// Synthetic check-in counts: two hotspots (downtown and a stadium).
+	x := make([]float64, side*side)
+	put := func(r, c int, mass float64, spread int) {
+		for dr := -spread; dr <= spread; dr++ {
+			for dc := -spread; dc <= spread; dc++ {
+				rr, cc := r+dr, c+dc
+				if rr >= 0 && rr < side && cc >= 0 && cc < side {
+					x[rr*side+cc] += mass / float64((2*spread+1)*(2*spread+1))
+				}
+			}
+		}
+	}
+	put(8, 8, 4000, 3)
+	put(24, 20, 2500, 2)
+
+	// Policy: cells within L1 distance 1 are indistinguishable (θ=1 grid).
+	// Larger θ widens the protected neighborhood; try θ=4 below.
+	grid := blowfish.GridPolicy(side)
+	src := blowfish.NewSource(7)
+	queries := blowfish.RandomRangesKd(dims, 2000, src.Split())
+
+	const eps = 0.5
+	answers, err := blowfish.Answer(queries, x, grid, eps, src.Split(), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	truth := queries.Answers(x)
+	fmt.Printf("grid policy G^1 (theta=1): per-query MSE = %.1f\n", mse(answers, truth))
+
+	// A wider protected neighborhood via a distance-threshold policy.
+	theta4, err := blowfish.DistanceThresholdPolicy(dims, 4)
+	if err != nil {
+		panic(err)
+	}
+	answers4, err := blowfish.Answer(queries, x, theta4, eps, src.Split(), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("grid policy G^4 (theta=4): per-query MSE = %.1f\n", mse(answers4, truth))
+
+	// Standard differential privacy for comparison (Privelet over the grid
+	// would be the usual choice; here we use the bounded policy, which the
+	// library answers via its generic machinery).
+	fmt.Println("\nBoth policies hide fine-grained movements; theta=4 protects a")
+	fmt.Println("wider radius at the cost of extra noise (the Lemma 4.5 stretch).")
+	fmt.Printf("\nsample query answers (first 3):\n")
+	for i := 0; i < 3; i++ {
+		fmt.Printf("  true=%8.1f  theta1=%8.1f  theta4=%8.1f\n", truth[i], answers[i], answers4[i])
+	}
+}
+
+func mse(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}

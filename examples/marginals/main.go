@@ -1,0 +1,93 @@
+// Marginals over a 3-D relational domain: release one- and two-way
+// marginals of an (age × income × region) table under a grid policy, using
+// the general-dimension Theorem 5.4 strategy, and compare with the
+// (ε, δ)-Gaussian tree pipeline of the Appendix A extension.
+//
+//	go run ./examples/marginals
+package main
+
+import (
+	"fmt"
+
+	blowfish "github.com/privacylab/blowfish"
+)
+
+func main() {
+	dims := []int{8, 8, 4} // age bins × income bins × regions
+	k := dims[0] * dims[1] * dims[2]
+	src := blowfish.NewSource(5)
+
+	// Synthetic table: income correlates with age, regions uneven.
+	x := make([]float64, k)
+	idx := 0
+	for a := 0; a < dims[0]; a++ {
+		for inc := 0; inc < dims[1]; inc++ {
+			for r := 0; r < dims[2]; r++ {
+				d := a - inc
+				if d < 0 {
+					d = -d
+				}
+				x[idx] = float64((8 - d) * (r + 1) * 3)
+				idx++
+			}
+		}
+	}
+
+	// Policy: L1-adjacent cells indistinguishable — a record's exact bin is
+	// protected, its neighborhood is not.
+	pol, err := blowfish.DistanceThresholdPolicy(dims, 1)
+	if err != nil {
+		panic(err)
+	}
+
+	const eps = 0.5
+	// Two-way marginal over (age, income), summing out regions.
+	m2, err := blowfish.Marginals(dims, []bool{true, true, false})
+	if err != nil {
+		panic(err)
+	}
+	got, err := blowfish.Answer(m2, x, pol, eps, src.Split(), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	truth := m2.Answers(x)
+	fmt.Printf("(age,income) marginal: %d cells, per-cell MSE %.2f under G^1_{k^3}\n",
+		m2.Len(), mse(got, truth))
+
+	// One-way region marginal.
+	m1, err := blowfish.Marginals(dims, []bool{false, false, true})
+	if err != nil {
+		panic(err)
+	}
+	got1, err := blowfish.Answer(m1, x, pol, eps, src.Split(), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	truth1 := m1.Answers(x)
+	fmt.Println("\nregion totals (true vs released):")
+	for r := range got1 {
+		fmt.Printf("  region %d: %8.0f  ->  %8.1f\n", r, truth1[r], got1[r])
+	}
+
+	// Appendix A extension: (ε, δ)-Blowfish with Gaussian noise on a tree
+	// policy. Flatten to an ordered 1-D view for a line policy demo.
+	line := blowfish.LinePolicy(k)
+	hist := blowfish.Histogram(k)
+	gauss, err := blowfish.Answer(hist, x, line, eps, src.Split(), blowfish.Options{
+		Estimator: blowfish.EstimatorGaussian, Delta: 1e-6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n(eps, delta)-Gaussian histogram release: per-cell MSE %.1f at delta=1e-6\n",
+		mse(gauss, hist.Answers(x)))
+}
+
+func mse(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}

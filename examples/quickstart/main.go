@@ -1,0 +1,65 @@
+// Quickstart: publish a private histogram under a Blowfish line policy.
+//
+// The database is a histogram of binned salaries. Under the line policy
+// G¹_k an adversary may learn a record's rough salary range but not
+// distinguish adjacent bins — a weaker promise than differential privacy
+// that buys dramatically more accuracy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	blowfish "github.com/privacylab/blowfish"
+)
+
+func main() {
+	const k = 64 // 64 salary bins
+	// A synthetic salary histogram: most mass in the middle bins.
+	x := make([]float64, k)
+	for i := range x {
+		d := float64(i) - 28
+		x[i] = math.Round(400 * math.Exp(-d*d/120))
+	}
+
+	policy := blowfish.LinePolicy(k)
+	w := blowfish.Histogram(k)
+	src := blowfish.NewSource(42)
+
+	const eps = 0.5
+	noisy, err := blowfish.Answer(w, x, policy, eps, src, blowfish.Options{
+		Estimator: blowfish.EstimatorConsistent, // prefix sums are monotone: project back
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Compare against standard differential privacy at the same budget:
+	// per-bin Laplace(1/eps) noise.
+	dpNoisy, err := blowfish.Answer(w, x, blowfish.UnboundedPolicy(k), eps, src, blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%4s %8s %14s %14s\n", "bin", "true", "blowfish(G1)", "unbounded DP")
+	for i := 0; i < k; i += 8 {
+		fmt.Printf("%4d %8.0f %14.1f %14.1f\n", i, x[i], noisy[i], dpNoisy[i])
+	}
+	fmt.Printf("\ntotal squared error: blowfish=%.0f  dp=%.0f\n",
+		sqErr(noisy, x), sqErr(dpNoisy, x))
+	fmt.Println("\nThe Blowfish release uses the transformational equivalence:")
+	fmt.Println("the line policy's transform is the prefix-sum vector, whose")
+	fmt.Println("sensitivity is 1, and consistency post-processing exploits its")
+	fmt.Println("monotonicity (Sections 4-5 of the paper).")
+}
+
+func sqErr(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

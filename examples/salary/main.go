@@ -1,0 +1,67 @@
+// Salary ranges: answer 1-D range queries over binned salaries under line
+// and distance-threshold policies, reproducing in miniature the paper's
+// 1D-Range experiments (Figures 8c/8d): the Blowfish mechanisms beat the
+// best differentially private baselines by orders of magnitude, and their
+// error does not grow with the domain size.
+//
+//	go run ./examples/salary
+package main
+
+import (
+	"fmt"
+
+	blowfish "github.com/privacylab/blowfish"
+)
+
+func main() {
+	const eps = 0.1
+	src := blowfish.NewSource(11)
+
+	for _, k := range []int{256, 1024} {
+		// Heavy-tailed salary histogram.
+		x := make([]float64, k)
+		for i := range x {
+			x[i] = float64(2000 / (i + 2))
+		}
+		queries := blowfish.RandomRanges1D(k, 2000, src.Split())
+		truth := queries.Answers(x)
+
+		// Line policy: adjacent bins protected.
+		line := blowfish.LinePolicy(k)
+		got, err := blowfish.Answer(queries, x, line, eps, src.Split(), blowfish.Options{})
+		if err != nil {
+			panic(err)
+		}
+		// Distance-threshold policy: bins within 4 steps protected, answered
+		// via the stretch-3 spanner H^4_k at eps/3 (Lemma 4.5).
+		theta, err := blowfish.DistanceThresholdPolicy([]int{k}, 4)
+		if err != nil {
+			panic(err)
+		}
+		gotTheta, err := blowfish.Answer(queries, x, theta, eps, src.Split(), blowfish.Options{})
+		if err != nil {
+			panic(err)
+		}
+		// Standard unbounded DP comparison: same queries, Laplace on the
+		// histogram (sensitivity 1) — the simplest ε-DP baseline.
+		dp, err := blowfish.Answer(queries, x, blowfish.UnboundedPolicy(k), eps, src.Split(), blowfish.Options{})
+		if err != nil {
+			panic(err)
+		}
+
+		fmt.Printf("k=%4d   per-query MSE:  G^1=%10.1f   G^4=%10.1f   unbounded DP=%12.1f\n",
+			k, mse(got, truth), mse(gotTheta, truth), mse(dp, truth))
+	}
+	fmt.Println("\nNote the Blowfish errors are flat in k while the DP error grows:")
+	fmt.Println("the transformed workload is (nearly) the identity regardless of k")
+	fmt.Println("(Theorem 5.2 / Figure 8d of the paper).")
+}
+
+func mse(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}

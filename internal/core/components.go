@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/graph"
+	"github.com/privacylab/blowfish/internal/policy"
+)
+
+// Component is one connected component of a disconnected policy, re-indexed
+// to its own compact domain so that the standard Transform machinery applies
+// (Appendix E: a disconnected policy discloses each tuple's component
+// exactly, and privacy holds within components independently).
+type Component struct {
+	// Transform is the equivalence transform for the component's policy.
+	Transform *Transform
+	// Vertices maps component-local domain values to original domain values.
+	Vertices []int
+	// Index maps original domain values to component-local ones (−1 if the
+	// value belongs to another component).
+	Index []int
+}
+
+// SplitComponents decomposes a (possibly disconnected) policy into per-
+// component transforms. A component containing ⊥ keeps it (Case I); every
+// other component is treated as bounded within itself (Case II with an alias
+// vertex), matching the Appendix E reduction "connect every component to ⊥
+// after the Case II conversion".
+func SplitComponents(p *policy.Policy) ([]*Component, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	id, count := p.G.Components()
+	comps := make([]*Component, 0, count)
+	for c := 0; c < count; c++ {
+		var verts []int
+		hasBottom := false
+		for v := 0; v < p.G.N; v++ {
+			if id[v] != c {
+				continue
+			}
+			if p.HasBottom && v == p.Bottom() {
+				hasBottom = true
+				continue // ⊥ is re-appended as the last vertex below
+			}
+			verts = append(verts, v)
+		}
+		if len(verts) == 0 {
+			// A component of just ⊥: nothing to protect there.
+			continue
+		}
+		index := make([]int, p.G.N)
+		for i := range index {
+			index[i] = -1
+		}
+		for local, v := range verts {
+			index[v] = local
+		}
+		n := len(verts)
+		gn := n
+		if hasBottom {
+			gn++
+			index[p.Bottom()] = n
+		}
+		g := graph.New(gn)
+		for _, e := range p.G.Edges {
+			lu, lv := index[e.U], index[e.V]
+			if lu < 0 || lv < 0 {
+				continue // edge belongs to another component
+			}
+			g.MustAddEdge(lu, lv)
+		}
+		sub := &policy.Policy{
+			Name:      fmt.Sprintf("%s[comp %d]", p.Name, c),
+			K:         n,
+			HasBottom: hasBottom,
+			G:         g,
+			Theta:     p.Theta,
+		}
+		tr, err := New(sub)
+		if err != nil {
+			return nil, fmt.Errorf("core: component %d: %w", c, err)
+		}
+		comps = append(comps, &Component{Transform: tr, Vertices: verts, Index: index})
+	}
+	return comps, nil
+}
+
+// Restrict projects a full-domain database onto the component's local domain.
+func (c *Component) Restrict(x []float64) []float64 {
+	out := make([]float64, len(c.Vertices))
+	for local, v := range c.Vertices {
+		out[local] = x[v]
+	}
+	return out
+}

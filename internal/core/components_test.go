@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/graph"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+func TestSplitComponentsSensitiveAttrs(t *testing.T) {
+	// 2 attributes over 2×3 domain, only the first sensitive: 3 components
+	// of 2 vertices each.
+	p, err := policy.SensitiveAttributes([]int{2, 3}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := SplitComponents(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	for _, c := range comps {
+		if len(c.Vertices) != 2 {
+			t.Fatalf("component size = %d, want 2", len(c.Vertices))
+		}
+		if c.Transform.Policy.HasBottom {
+			t.Fatal("bounded component should stay bounded")
+		}
+	}
+	// Index round trip.
+	for _, c := range comps {
+		for local, v := range c.Vertices {
+			if c.Index[v] != local {
+				t.Fatalf("index mismatch for vertex %d", v)
+			}
+		}
+	}
+}
+
+func TestSplitComponentsWithBottom(t *testing.T) {
+	// ⊥ connected to vertices {0,1}; vertex 2 isolated without ⊥.
+	g := graph.New(4) // 3 domain values + ⊥ at 3
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(1, 3)
+	p := &policy.Policy{Name: "partial", K: 3, HasBottom: true, G: g}
+	comps, err := SplitComponents(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	var withBottom, without int
+	for _, c := range comps {
+		if c.Transform.Policy.HasBottom {
+			withBottom++
+			if len(c.Vertices) != 2 {
+				t.Fatalf("⊥-component has %d vertices", len(c.Vertices))
+			}
+		} else {
+			without++
+			if len(c.Vertices) != 1 {
+				t.Fatalf("isolated component has %d vertices", len(c.Vertices))
+			}
+		}
+	}
+	if withBottom != 1 || without != 1 {
+		t.Fatalf("withBottom=%d without=%d", withBottom, without)
+	}
+	_ = without
+}
+
+func TestSplitComponentsRestrictAndAnswer(t *testing.T) {
+	// Answering per component reproduces the per-component truth.
+	p, err := policy.SensitiveAttributes([]int{2, 2}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := SplitComponents(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{5, 7, 2, 9}
+	for _, c := range comps {
+		local := c.Restrict(x)
+		if len(local) != len(c.Vertices) {
+			t.Fatal("restrict length")
+		}
+		// Equivalence holds within the component.
+		tr := c.Transform
+		xg, err := tr.DatabaseTransform(local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n float64
+		for _, v := range local {
+			n += v
+		}
+		w := workload.Identity(len(local))
+		truth := w.Answers(local)
+		for qi, q := range w.Queries {
+			got := tr.ConstantCorrection(q, n)
+			for j, e := range tr.Policy.G.Edges {
+				got += tr.QueryCoeffOnEdge(q, e) * xg[j]
+			}
+			if math.Abs(got-truth[qi]) > 1e-9 {
+				t.Fatalf("component query %d mismatch", qi)
+			}
+		}
+	}
+}
+
+func TestSplitComponentsConnectedPolicy(t *testing.T) {
+	comps, err := SplitComponents(policy.Line(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || len(comps[0].Vertices) != 5 {
+		t.Fatal("connected policy should yield one full component")
+	}
+}
+
+func TestBlowfishNeighborsSemantics(t *testing.T) {
+	p := policy.Line(4)
+	base := []float64{1, 2, 3, 4}
+	move01 := []float64{0, 3, 3, 4} // move one tuple 0→1
+	move02 := []float64{0, 2, 4, 4} // move one tuple 0→2 (not adjacent)
+	add := []float64{2, 2, 3, 4}    // add a tuple (needs ⊥)
+	if !BlowfishNeighbors(p, base, move01) {
+		t.Fatal("adjacent move should be a neighbor")
+	}
+	if BlowfishNeighbors(p, base, move02) {
+		t.Fatal("non-adjacent move should not be a neighbor")
+	}
+	if BlowfishNeighbors(p, base, add) {
+		t.Fatal("insertion without ⊥ should not be a neighbor")
+	}
+	pu := policy.Unbounded(4)
+	if !BlowfishNeighbors(pu, base, add) {
+		t.Fatal("insertion under unbounded policy should be a neighbor")
+	}
+	if BlowfishNeighbors(pu, base, move01) {
+		t.Fatal("value move under star policy is two steps, not one")
+	}
+	if BlowfishNeighbors(p, base, base) {
+		t.Fatal("identical databases are not neighbors")
+	}
+}
+
+func TestDPNeighborsUnbounded(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 3, 3}
+	c := []float64{2, 3, 3}
+	d := []float64{1, 4, 3}
+	if !DPNeighborsUnbounded(a, b) {
+		t.Fatal("single ±1 change should be neighbors")
+	}
+	if DPNeighborsUnbounded(a, c) {
+		t.Fatal("two changes are not neighbors")
+	}
+	if DPNeighborsUnbounded(a, d) {
+		t.Fatal("±2 change is not a neighbor")
+	}
+	if DPNeighborsUnbounded(a, a) {
+		t.Fatal("identical vectors are not neighbors")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+
+	"github.com/privacylab/blowfish/internal/policy"
+)
+
+// BlowfishNeighbors reports whether histogram vectors y and z are neighbors
+// under policy p (Def 3.2): they differ by moving one unit of count along a
+// policy edge (u, v), or — when the edge is (u, ⊥) — by adding/removing one
+// unit at u. Used by tests to verify Claim 4.2 and by the exponential-
+// mechanism negative-result demo.
+func BlowfishNeighbors(p *policy.Policy, y, z []float64) bool {
+	if len(y) != p.K || len(z) != p.K {
+		return false
+	}
+	// Collect the differing coordinates.
+	type diff struct {
+		idx   int
+		delta float64
+	}
+	var diffs []diff
+	for i := range y {
+		if d := y[i] - z[i]; d != 0 {
+			diffs = append(diffs, diff{i, d})
+			if len(diffs) > 2 {
+				return false
+			}
+		}
+	}
+	switch len(diffs) {
+	case 1:
+		// Presence/absence of one entry: needs an edge to ⊥.
+		d := diffs[0]
+		if math.Abs(d.delta) != 1 || !p.HasBottom {
+			return false
+		}
+		return p.G.HasEdge(d.idx, p.Bottom())
+	case 2:
+		// One entry moved between two values: deltas must be +1/−1 and the
+		// values must be policy-adjacent.
+		a, b := diffs[0], diffs[1]
+		if a.delta+b.delta != 0 || math.Abs(a.delta) != 1 {
+			return false
+		}
+		return p.G.HasEdge(a.idx, b.idx)
+	default:
+		return false
+	}
+}
+
+// DPNeighborsUnbounded reports whether vectors differ in exactly one
+// coordinate by exactly 1 — neighbors under unbounded differential privacy
+// (L1 distance 1 with a single coordinate change).
+func DPNeighborsUnbounded(y, z []float64) bool {
+	if len(y) != len(z) {
+		return false
+	}
+	changed := 0
+	for i := range y {
+		d := y[i] - z[i]
+		if d == 0 {
+			continue
+		}
+		if math.Abs(d) != 1 {
+			return false
+		}
+		changed++
+		if changed > 1 {
+			return false
+		}
+	}
+	return changed == 1
+}

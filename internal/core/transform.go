@@ -1,0 +1,297 @@
+// Package core implements the paper's primary contribution: the
+// transformational equivalence between (ε, G)-Blowfish privacy and ordinary
+// ε-differential privacy (Section 4). For a policy graph G it constructs the
+// matrix P_G (Section 4.4) mapping the vertex domain to the edge domain,
+// transforms workloads (W_G = W·P_G) and databases (x_G = P_G⁻¹·x), handles
+// the bounded case by aliasing a vertex to ⊥ (Case II, Lemma 4.10), splits
+// disconnected policies into components (Case III, Appendix E), and provides
+// the subgraph-approximation budget accounting of Lemma 4.5.
+package core
+
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/graph"
+	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+// Transform carries the transformational-equivalence data for one connected
+// policy graph. Columns of P_G are the policy edges in the order of
+// Policy.G.Edges, oriented +1 at Edge.U and −1 at Edge.V (a column incident
+// on ⊥ keeps only its non-⊥ entry, per Case I of Section 4.4).
+type Transform struct {
+	// Policy is the policy graph being transformed.
+	Policy *policy.Policy
+	// Alias is the domain vertex rewritten to play ⊥ for bounded policies
+	// (Case II); −1 when the policy has a real ⊥ (Case I). Queries touching
+	// the alias are rewritten with the database size n (Lemma 4.10) — see
+	// ConstantCorrection.
+	Alias int
+	// root is ⊥'s vertex index in the underlying graph (the alias for
+	// bounded policies), used as the tree root for the O(k) x_G fast path.
+	root int
+	// isTree caches whether the policy graph is a tree, enabling the exact
+	// all-mechanism equivalence of Theorem 4.3 and the fast x_G path.
+	isTree bool
+}
+
+// New builds the transform for a connected policy. For bounded policies
+// (no ⊥) the highest-index vertex is aliased to ⊥; use NewWithAlias to pick
+// a different one (the choice affects only which queries need the Lemma 4.10
+// rewrite, not correctness).
+func New(p *policy.Policy) (*Transform, error) {
+	if p.HasBottom {
+		return newTransform(p, -1)
+	}
+	return newTransform(p, p.K-1)
+}
+
+// NewWithAlias builds the transform for a bounded policy aliasing vertex v
+// to ⊥.
+func NewWithAlias(p *policy.Policy, v int) (*Transform, error) {
+	if p.HasBottom {
+		return nil, fmt.Errorf("core: policy %q already has ⊥; no alias needed", p.Name)
+	}
+	if v < 0 || v >= p.K {
+		return nil, fmt.Errorf("core: alias vertex %d out of domain [0,%d)", v, p.K)
+	}
+	return newTransform(p, v)
+}
+
+func newTransform(p *policy.Policy, alias int) (*Transform, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Connected() {
+		return nil, fmt.Errorf("core: policy %q is disconnected; use SplitComponents (Appendix E)", p.Name)
+	}
+	root := alias
+	if p.HasBottom {
+		root = p.Bottom()
+	}
+	return &Transform{
+		Policy: p,
+		Alias:  alias,
+		root:   root,
+		isTree: p.G.IsTree(),
+	}, nil
+}
+
+// NumEdges returns the edge-domain dimension |E| (the number of columns of
+// P_G and the length of x_G).
+func (t *Transform) NumEdges() int { return len(t.Policy.G.Edges) }
+
+// Rows returns the number of rows of P_G: |V|−1, one per domain value other
+// than the alias (Case II) or one per domain value (Case I, where ⊥ has no
+// row).
+func (t *Transform) Rows() int {
+	if t.Alias >= 0 {
+		return t.Policy.K - 1
+	}
+	return t.Policy.K
+}
+
+// IsTree reports whether the policy graph is a tree, in which case the
+// equivalence holds for every mechanism (Theorem 4.3), not just matrix
+// mechanisms (Theorem 4.1).
+func (t *Transform) IsTree() bool { return t.isTree }
+
+// coeff returns the effective coefficient of query q at graph vertex v: 0 at
+// a real ⊥, the query's own coefficient otherwise (the alias vertex keeps its
+// coefficient — the q[v]·n correction term is reported separately).
+func (t *Transform) coeff(q workload.Query, v int) float64 {
+	if t.Policy.HasBottom && v == t.Policy.Bottom() {
+		return 0
+	}
+	return q.Coeff(v)
+}
+
+// QueryCoeffOnEdge returns the transformed query's coefficient on edge e:
+// (q·P_G) evaluated at e's column, which is q[U] − q[V] under the orientation
+// convention. For 0/1 counting queries this is ±1 exactly when e crosses the
+// query's boundary (Lemma 5.1).
+func (t *Transform) QueryCoeffOnEdge(q workload.Query, e graph.Edge) float64 {
+	return t.coeff(q, e.U) - t.coeff(q, e.V)
+}
+
+// TransformQuery returns the dense edge-domain vector q_G = q·P_G.
+func (t *Transform) TransformQuery(q workload.Query) []float64 {
+	out := make([]float64, t.NumEdges())
+	for i, e := range t.Policy.G.Edges {
+		out[i] = t.QueryCoeffOnEdge(q, e)
+	}
+	return out
+}
+
+// ConstantCorrection returns the additive constant c(q, n) of Lemma 4.10 for
+// one query: q·x = q_G·x_G + c(q, n) where n is the database size. It is
+// q[alias]·n for bounded policies and 0 when the policy has a real ⊥.
+func (t *Transform) ConstantCorrection(q workload.Query, n float64) float64 {
+	if t.Alias < 0 {
+		return 0
+	}
+	return q.Coeff(t.Alias) * n
+}
+
+// PG materializes the dense transformation matrix P_G with Rows() rows and
+// NumEdges() columns. Row r corresponds to domain value r, skipping the
+// alias for bounded policies. Intended for verification and small domains;
+// strategies use the sparse accessors above.
+func (t *Transform) PG() *linalg.Matrix {
+	m := linalg.New(t.Rows(), t.NumEdges())
+	for j, e := range t.Policy.G.Edges {
+		if r, ok := t.rowOf(e.U); ok {
+			m.Set(r, j, 1)
+		}
+		if r, ok := t.rowOf(e.V); ok {
+			m.Set(r, j, -1)
+		}
+	}
+	return m
+}
+
+// rowOf maps a graph vertex to its P_G row, reporting false for ⊥/alias.
+func (t *Transform) rowOf(v int) (int, bool) {
+	if t.Policy.HasBottom && v == t.Policy.Bottom() {
+		return 0, false
+	}
+	if t.Alias >= 0 {
+		if v == t.Alias {
+			return 0, false
+		}
+		if v > t.Alias {
+			return v - 1, true
+		}
+	}
+	return v, true
+}
+
+// VertexOfRow is the inverse of rowOf: the domain value behind P_G row r.
+func (t *Transform) VertexOfRow(r int) int {
+	if t.Alias >= 0 && r >= t.Alias {
+		return r + 1
+	}
+	return r
+}
+
+// ReducedDatabase returns the database vector matching P_G's rows: x itself
+// for Case I, x with the alias entry dropped (x_{−v} of Lemma 4.10) for
+// Case II.
+func (t *Transform) ReducedDatabase(x []float64) []float64 {
+	if len(x) != t.Policy.K {
+		panic(fmt.Sprintf("core: database size %d != domain %d", len(x), t.Policy.K))
+	}
+	if t.Alias < 0 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, 0, len(x)-1)
+	out = append(out, x[:t.Alias]...)
+	out = append(out, x[t.Alias+1:]...)
+	return out
+}
+
+// TransformWorkload materializes the dense transformed workload
+// W_G = W·P_G (one row per query, one column per edge).
+func (t *Transform) TransformWorkload(w *workload.Workload) *linalg.Matrix {
+	m := linalg.New(w.Len(), t.NumEdges())
+	for i, q := range w.Queries {
+		row := m.Row(i)
+		for j, e := range t.Policy.G.Edges {
+			row[j] = t.QueryCoeffOnEdge(q, e)
+		}
+	}
+	return m
+}
+
+// DatabaseTransform computes x_G = P_G⁻¹·x(reduced). For tree policies it
+// runs the O(k) subtree-sum construction (for the line graph this yields the
+// prefix sums of Example 4.1); otherwise it falls back to the dense
+// Moore–Penrose right inverse, which is only practical for small domains.
+func (t *Transform) DatabaseTransform(x []float64) ([]float64, error) {
+	if len(x) != t.Policy.K {
+		return nil, fmt.Errorf("core: database size %d != domain %d", len(x), t.Policy.K)
+	}
+	if t.isTree {
+		return t.treeDatabaseTransform(x), nil
+	}
+	pg := t.PG()
+	pinv, err := linalg.RightInverse(pg)
+	if err != nil {
+		return nil, fmt.Errorf("core: DatabaseTransform: %w", err)
+	}
+	return linalg.MulVec(pinv, t.ReducedDatabase(x)), nil
+}
+
+// treeDatabaseTransform computes x_G for a tree policy: the value on each
+// edge is ± the total count of the subtree hanging below it (away from
+// ⊥/alias), signed by the edge orientation. This solves P_G·x_G = x exactly.
+func (t *Transform) treeDatabaseTransform(x []float64) []float64 {
+	g := t.Policy.G
+	parent, parentEdge, order, err := g.RootedParents(t.root)
+	if err != nil {
+		panic(fmt.Sprintf("core: tree transform on non-tree: %v", err)) // guarded by isTree
+	}
+	down := make([]float64, g.N)
+	for v := 0; v < g.N; v++ {
+		if t.Policy.HasBottom && v == t.Policy.Bottom() {
+			continue
+		}
+		if v == t.root {
+			continue // alias value excluded: its row was dropped (x_{−v})
+		}
+		down[v] = x[v]
+	}
+	xg := make([]float64, len(g.Edges))
+	// Accumulate subtree sums bottom-up (reverse BFS preorder).
+	for i := len(order) - 1; i >= 1; i-- {
+		v := order[i]
+		p := parent[v]
+		e := g.Edges[parentEdge[v]]
+		if e.U == v {
+			xg[parentEdge[v]] = down[v]
+		} else {
+			xg[parentEdge[v]] = -down[v]
+		}
+		down[p] += down[v]
+	}
+	return xg
+}
+
+// ReconstructVertexDatabase inverts the tree transform: given x_G it returns
+// the reduced vertex database P_G·x_G (all domain values except ⊥/alias).
+// Useful for post-processing pipelines that operate in the edge domain.
+func (t *Transform) ReconstructVertexDatabase(xg []float64) []float64 {
+	if len(xg) != t.NumEdges() {
+		panic(fmt.Sprintf("core: xg length %d != edges %d", len(xg), t.NumEdges()))
+	}
+	out := make([]float64, t.Rows())
+	for j, e := range t.Policy.G.Edges {
+		if r, ok := t.rowOf(e.U); ok {
+			out[r] += xg[j]
+		}
+		if r, ok := t.rowOf(e.V); ok {
+			out[r] -= xg[j]
+		}
+	}
+	return out
+}
+
+// PolicySensitivity returns Δ_W(G), which by Lemma 4.7 equals the ordinary
+// sensitivity of the transformed workload W_G.
+func (t *Transform) PolicySensitivity(w *workload.Workload) float64 {
+	return w.PolicySensitivity(t.Policy)
+}
+
+// EffectiveEpsilon applies Lemma 4.5 (subgraph approximation): to guarantee
+// (ε, G)-Blowfish privacy via an ℓ-approximate spanner, run the spanner
+// mechanism at ε/ℓ.
+func EffectiveEpsilon(eps float64, stretch int) float64 {
+	if stretch < 1 {
+		panic("core: stretch must be >= 1")
+	}
+	return eps / float64(stretch)
+}

@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/noise"
+)
+
+func TestTable1SpecsComplete(t *testing.T) {
+	specs := Table1()
+	if len(specs) != 10 {
+		t.Fatalf("Table 1 has %d datasets, want 10", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate dataset %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.Scale <= 0 || s.ZeroFrac < 0 || s.ZeroFrac >= 1 {
+			t.Fatalf("bad spec %+v", s)
+		}
+	}
+	for _, want := range []string{"A", "B", "C", "D", "E", "F", "G", "T25", "T50", "T100"} {
+		if !names[want] {
+			t.Fatalf("missing dataset %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("E")
+	if err != nil || s.Name != "E" {
+		t.Fatal("ByName E failed")
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestGenerateMatchesSpecStatistics(t *testing.T) {
+	src := noise.NewSource(1)
+	for _, spec := range Table1() {
+		x := Generate(spec, src.Split())
+		if len(x) != spec.K() {
+			t.Fatalf("%s: domain %d, want %d", spec.Name, len(x), spec.K())
+		}
+		scale, zf := Stats(x)
+		// Scale within 10% (integer rounding and the ≥1 floor perturb it).
+		if math.Abs(scale-spec.Scale)/spec.Scale > 0.1 {
+			t.Fatalf("%s: scale %g, want %g", spec.Name, scale, spec.Scale)
+		}
+		// Zero fraction within 2 percentage points.
+		if math.Abs(zf-spec.ZeroFrac) > 0.02 {
+			t.Fatalf("%s: zero fraction %g, want %g", spec.Name, zf, spec.ZeroFrac)
+		}
+		// Counts are non-negative integers.
+		for i, v := range x {
+			if v < 0 || v != math.Trunc(v) {
+				t.Fatalf("%s: cell %d = %g not a count", spec.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := ByName("D")
+	a := Generate(spec, noise.NewSource(7))
+	b := Generate(spec, noise.NewSource(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should generate identical data")
+		}
+	}
+}
+
+func TestGenerateClusters(t *testing.T) {
+	// Non-zero cells should appear in contiguous runs, not uniformly.
+	spec := Spec{Name: "t", Dims: []int{1000}, Scale: 1e5, ZeroFrac: 0.9, Clusters: 5}
+	x := Generate(spec, noise.NewSource(2))
+	runs := 0
+	inRun := false
+	for _, v := range x {
+		if v > 0 && !inRun {
+			runs++
+			inRun = true
+		} else if v == 0 {
+			inRun = false
+		}
+	}
+	if runs > 10 {
+		t.Fatalf("non-zero mass split into %d runs, want ~5", runs)
+	}
+}
+
+func TestAggregate1D(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	got, err := Aggregate1D(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 7, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aggregate %v", got)
+		}
+	}
+	if _, err := Aggregate1D(x, 4); err == nil {
+		t.Fatal("non-divisible factor accepted")
+	}
+}
+
+func TestAggregateGrid(t *testing.T) {
+	// 4x4 grid of ones aggregated by 2 -> 2x2 grid of fours.
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = 1
+	}
+	got, err := AggregateGrid(x, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("aggregated size %d", len(got))
+	}
+	for _, v := range got {
+		if v != 4 {
+			t.Fatalf("aggregated values %v", got)
+		}
+	}
+	if _, err := AggregateGrid(x, 4, 4, 3); err == nil {
+		t.Fatal("non-divisible factor accepted")
+	}
+}
+
+func TestAggregatePreservesMass(t *testing.T) {
+	spec, _ := ByName("D")
+	x := Generate(spec, noise.NewSource(3))
+	agg, err := Aggregate1D(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b float64
+	for _, v := range x {
+		a += v
+	}
+	for _, v := range agg {
+		b += v
+	}
+	if math.Abs(a-b) > 1e-6 {
+		t.Fatal("aggregation changed total mass")
+	}
+}
+
+func TestSpecK(t *testing.T) {
+	if (Spec{Dims: []int{4, 5}}).K() != 20 {
+		t.Fatal("K wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/privacylab/blowfish/internal/lowerbound"
+	"github.com/privacylab/blowfish/internal/policy"
+)
+
+// Fig10Options sizes the SVD lower-bound sweeps; the paper uses ε = 1,
+// δ = 0.001, 1-D domains up to 300 and 2-D domains (k²) up to ~90.
+type Fig10Options struct {
+	Eps, Delta float64
+	// Domains1D are the 1-D domain sizes swept in Figure 10a.
+	Domains1D []int
+	// Thetas1D are the distance thresholds of Figure 10a.
+	Thetas1D []int
+	// Grids2D are the per-side grid sizes swept in Figure 10b (domain k²).
+	Grids2D []int
+	// Thetas2D are the thresholds of Figure 10b.
+	Thetas2D []int
+	// IncludeBounded adds the bounded-DP (complete graph) series of 10b;
+	// its edge count is quadratic, so it dominates runtime.
+	IncludeBounded bool
+}
+
+// DefaultFig10 returns paper-parameter options with sweep sizes that run in
+// minutes; Quick shrinks them for tests.
+func DefaultFig10() Fig10Options {
+	return Fig10Options{
+		Eps: 1, Delta: 0.001,
+		Domains1D:      []int{16, 32, 64, 128, 192, 256},
+		Thetas1D:       []int{1, 2, 4, 8, 16},
+		Grids2D:        []int{3, 4, 5, 6, 7, 8, 9},
+		Thetas2D:       []int{1, 2, 3},
+		IncludeBounded: true,
+	}
+}
+
+// QuickFig10 returns reduced sweeps for tests and benchmarks.
+func QuickFig10() Fig10Options {
+	return Fig10Options{
+		Eps: 1, Delta: 0.001,
+		Domains1D:      []int{8, 16, 32},
+		Thetas1D:       []int{1, 2, 4},
+		Grids2D:        []int{3, 4, 5},
+		Thetas2D:       []int{1, 2},
+		IncludeBounded: true,
+	}
+}
+
+// SVD1DExperiment reproduces Figure 10a: the Corollary A.2 lower bound for
+// the all-ranges workload R_k under unbounded DP and under G^θ_k for each θ,
+// as the domain size grows.
+func SVD1DExperiment(o Fig10Options) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 10a: SVD lower bound, R_k (eps=%g, delta=%g)", o.Eps, o.Delta),
+		Metric:  "MINERROR lower bound",
+		Columns: []string{"unbounded DP"},
+	}
+	for _, th := range o.Thetas1D {
+		t.Columns = append(t.Columns, fmt.Sprintf("Theta=%d", th))
+	}
+	for _, k := range o.Domains1D {
+		gram := lowerbound.RangeGram1D(k)
+		cells := make([]float64, 0, len(t.Columns))
+		dp, err := lowerbound.SVDBoundDPFromGram(gram, o.Eps, o.Delta)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, dp)
+		for _, th := range o.Thetas1D {
+			if th >= k {
+				cells = append(cells, math.NaN())
+				continue
+			}
+			p, err := policy.DistanceThreshold([]int{k}, th)
+			if err != nil {
+				return nil, err
+			}
+			b, err := lowerbound.SVDBoundFromGram(gram, p, o.Eps, o.Delta)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, b)
+		}
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", k))
+		t.Cells = append(t.Cells, cells)
+	}
+	return t, nil
+}
+
+// SVD2DExperiment reproduces Figure 10b: the lower bound for all rectangle
+// queries R_{k²} under unbounded DP, under grid policies G^θ_{k²}, and
+// under bounded DP (the complete policy graph).
+func SVD2DExperiment(o Fig10Options) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 10b: SVD lower bound, R_{k^2} (eps=%g, delta=%g)", o.Eps, o.Delta),
+		Metric:  "MINERROR lower bound",
+		Columns: []string{"unbounded DP"},
+	}
+	for _, th := range o.Thetas2D {
+		t.Columns = append(t.Columns, fmt.Sprintf("Theta=%d", th))
+	}
+	if o.IncludeBounded {
+		t.Columns = append(t.Columns, "bounded DP")
+	}
+	for _, g := range o.Grids2D {
+		dims := []int{g, g}
+		gram := lowerbound.RangeGramGrid(dims)
+		cells := make([]float64, 0, len(t.Columns))
+		dp, err := lowerbound.SVDBoundDPFromGram(gram, o.Eps, o.Delta)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, dp)
+		for _, th := range o.Thetas2D {
+			p, err := policy.DistanceThreshold(dims, th)
+			if err != nil {
+				return nil, err
+			}
+			b, err := lowerbound.SVDBoundFromGram(gram, p, o.Eps, o.Delta)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, b)
+		}
+		if o.IncludeBounded {
+			b, err := lowerbound.SVDBoundFromGram(gram, policy.Bounded(g*g), o.Eps, o.Delta)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, b)
+		}
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", g*g))
+		t.Cells = append(t.Cells, cells)
+	}
+	return t, nil
+}

@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/mech"
+	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/strategy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+// Fig3Options sizes the data-independent error-bound sweeps.
+type Fig3Options struct {
+	Eps     float64
+	Runs    int
+	Queries int
+	Seed    int64
+	// Ks1D is the domain sweep for the 1-D rows, Ks2D the per-side sweep
+	// for the 2-D rows.
+	Ks1D, Ks2D []int
+	Theta1D    int
+	Theta2D    int
+}
+
+// DefaultFig3 returns the standard sweep.
+func DefaultFig3() Fig3Options {
+	return Fig3Options{Eps: 1, Runs: 5, Queries: 2000, Seed: 7,
+		Ks1D: []int{64, 128, 256, 512, 1024}, Ks2D: []int{8, 16, 32, 64},
+		Theta1D: 8, Theta2D: 4}
+}
+
+// QuickFig3 returns a reduced sweep for tests.
+func QuickFig3() Fig3Options {
+	return Fig3Options{Eps: 1, Runs: 3, Queries: 300, Seed: 7,
+		Ks1D: []int{32, 64, 128}, Ks2D: []int{8, 16},
+		Theta1D: 4, Theta2D: 4}
+}
+
+// Fig3Experiment empirically reproduces the error-bound summary of
+// Figure 3: for each workload/policy row it measures the per-query error of
+// the Blowfish strategy and its differentially private counterpart
+// (Privelet) across a domain-size sweep, on an empty database (the
+// strategies are data independent, so the measured error is *the* error).
+// The expected shapes: row 1 is flat in k (Θ(1/ε²)) while Privelet grows as
+// log³k; row 2 is flat at O(log³θ); rows 3–4 grow as log^{3(d−1)}k versus
+// Privelet's log^{3d}k.
+func Fig3Experiment(o Fig3Options) ([]*Table, error) {
+	if o.Runs < 1 {
+		o.Runs = 1
+	}
+	src := noise.NewSource(o.Seed)
+	var tables []*Table
+
+	// Row 1: R_k under G¹_k.
+	t1 := &Table{Title: fmt.Sprintf("Figure 3 row 1: R_k under G^1_k (eps=%g)", o.Eps),
+		Metric: "per-query error", Columns: []string{"Blowfish", "Privelet (DP)"}}
+	for _, k := range o.Ks1D {
+		blow, err := strategy.LinePolicyAlgorithms(k)
+		if err != nil {
+			return nil, err
+		}
+		w := workload.RandomRanges1D(k, o.Queries, src.Split())
+		x := make([]float64, k)
+		b, err := MeasureMSE(blow[0], w, x, o.Eps, o.Runs, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		p, err := MeasureMSE(strategy.DPPriveletRange1D(), w, x, o.Eps, o.Runs, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		t1.Rows = append(t1.Rows, fmt.Sprintf("k=%d", k))
+		t1.Cells = append(t1.Cells, []float64{b, p})
+	}
+	tables = append(tables, t1)
+
+	// Row 2: R_k under G^θ_k via the Theorem 5.5 grouped strategy.
+	t2 := &Table{Title: fmt.Sprintf("Figure 3 row 2: R_k under G^%d_k (eps=%g)", o.Theta1D, o.Eps),
+		Metric: "per-query error", Columns: []string{"Blowfish", "Privelet (DP)"}}
+	for _, k := range o.Ks1D {
+		if o.Theta1D >= k {
+			continue
+		}
+		w := workload.RandomRanges1D(k, o.Queries, src.Split())
+		x := make([]float64, k)
+		b, err := MeasureMSE(strategy.ThetaLineGrouped(k, o.Theta1D, mech.PriveletKind), w, x, o.Eps, o.Runs, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		p, err := MeasureMSE(strategy.DPPriveletRange1D(), w, x, o.Eps, o.Runs, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		t2.Rows = append(t2.Rows, fmt.Sprintf("k=%d", k))
+		t2.Cells = append(t2.Cells, []float64{b, p})
+	}
+	tables = append(tables, t2)
+
+	// Row 3: R_{k²} under G¹_{k²}.
+	t3 := &Table{Title: fmt.Sprintf("Figure 3 row 3: R_{k^2} under G^1_{k^2} (eps=%g)", o.Eps),
+		Metric: "per-query error", Columns: []string{"Blowfish", "Privelet (DP)"}}
+	for _, g := range o.Ks2D {
+		dims := []int{g, g}
+		w := workload.RandomRangesKd(dims, o.Queries, src.Split())
+		x := make([]float64, g*g)
+		b, err := MeasureMSE(strategy.GridPolicyRange2D(dims, mech.PriveletKind), w, x, o.Eps, o.Runs, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		p, err := MeasureMSE(strategy.DPPriveletRangeKd(dims), w, x, o.Eps, o.Runs, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		t3.Rows = append(t3.Rows, fmt.Sprintf("k=%d", g))
+		t3.Cells = append(t3.Cells, []float64{b, p})
+	}
+	tables = append(tables, t3)
+
+	// Row 4: R_{k²} under G^θ_{k²} via the Theorem 5.6 strategy.
+	t4 := &Table{Title: fmt.Sprintf("Figure 3 row 4: R_{k^2} under G^%d_{k^2} (eps=%g)", o.Theta2D, o.Eps),
+		Metric: "per-query error", Columns: []string{"Blowfish", "Privelet (DP)"}}
+	for _, g := range o.Ks2D {
+		if o.Theta2D >= g {
+			continue
+		}
+		dims := []int{g, g}
+		w := workload.RandomRangesKd(dims, o.Queries, src.Split())
+		x := make([]float64, g*g)
+		b, err := MeasureMSE(strategy.ThetaGridRange2D(dims, o.Theta2D), w, x, o.Eps, o.Runs, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		p, err := MeasureMSE(strategy.DPPriveletRangeKd(dims), w, x, o.Eps, o.Runs, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		t4.Rows = append(t4.Rows, fmt.Sprintf("k=%d", g))
+		t4.Cells = append(t4.Cells, []float64{b, p})
+	}
+	tables = append(tables, t4)
+	return tables, nil
+}

@@ -1,0 +1,239 @@
+// Package graph implements the small amount of graph machinery the Blowfish
+// framework needs: undirected graphs with stable edge identities, BFS
+// shortest paths, connected components, spanning trees and stretch
+// computation between a graph and a spanner.
+package graph
+
+import "fmt"
+
+// Edge is an undirected edge between vertices U and V. Edges keep their index
+// in Graph.Edges, which downstream code uses as the column index of the
+// vertex-edge incidence matrix P_G.
+type Edge struct {
+	U, V int
+}
+
+// Graph is an undirected graph on vertices 0..N-1 with an explicit edge list.
+// Parallel edges and self-loops are rejected on insertion.
+type Graph struct {
+	N     int
+	Edges []Edge
+	adj   [][]halfEdge // adj[u] = {v, edge index} pairs
+	seen  map[[2]int]bool
+}
+
+type halfEdge struct {
+	To   int
+	Edge int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{N: n, adj: make([][]halfEdge, n), seen: make(map[[2]int]bool)}
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// AddEdge inserts the undirected edge (u, v) and returns its index. Duplicate
+// edges and self-loops are errors: policy graphs are simple graphs.
+func (g *Graph) AddEdge(u, v int) (int, error) {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		return 0, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.N)
+	}
+	if u == v {
+		return 0, fmt.Errorf("graph: self-loop at %d", u)
+	}
+	key := edgeKey(u, v)
+	if g.seen[key] {
+		return 0, fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.seen[key] = true
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{U: u, V: v})
+	g.adj[u] = append(g.adj[u], halfEdge{To: v, Edge: idx})
+	g.adj[v] = append(g.adj[v], halfEdge{To: u, Edge: idx})
+	return idx, nil
+}
+
+// MustAddEdge is AddEdge for construction code where duplicates are bugs.
+func (g *Graph) MustAddEdge(u, v int) int {
+	idx, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.seen[edgeKey(u, v)] }
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors calls fn for every neighbor of u with the connecting edge index.
+func (g *Graph) Neighbors(u int, fn func(v, edge int)) {
+	for _, h := range g.adj[u] {
+		fn(h.To, h.Edge)
+	}
+}
+
+// BFS returns the distance (in hops) from src to every vertex; unreachable
+// vertices get −1.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[u] {
+			if dist[h.To] < 0 {
+				dist[h.To] = dist[u] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the shortest-path distance between u and v, or −1 if
+// disconnected.
+func (g *Graph) Dist(u, v int) int { return g.BFS(u)[v] }
+
+// Components returns a component id per vertex and the component count.
+func (g *Graph) Components() (id []int, count int) {
+	id = make([]int, g.N)
+	for i := range id {
+		id[i] = -1
+	}
+	for v := 0; v < g.N; v++ {
+		if id[v] >= 0 {
+			continue
+		}
+		id[v] = count
+		queue := []int{v}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, h := range g.adj[u] {
+				if id[h.To] < 0 {
+					id[h.To] = count
+					queue = append(queue, h.To)
+				}
+			}
+		}
+		count++
+	}
+	return id, count
+}
+
+// Connected reports whether the graph has exactly one connected component
+// (or is empty).
+func (g *Graph) Connected() bool {
+	if g.N == 0 {
+		return true
+	}
+	_, c := g.Components()
+	return c == 1
+}
+
+// IsTree reports whether the graph is connected and has exactly N−1 edges.
+func (g *Graph) IsTree() bool {
+	return g.N > 0 && len(g.Edges) == g.N-1 && g.Connected()
+}
+
+// SpanningTree returns a BFS spanning tree rooted at root as a new Graph on
+// the same vertex set. The graph must be connected.
+func (g *Graph) SpanningTree(root int) (*Graph, error) {
+	t := New(g.N)
+	visited := make([]bool, g.N)
+	visited[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[u] {
+			if !visited[h.To] {
+				visited[h.To] = true
+				t.MustAddEdge(u, h.To)
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	for v, ok := range visited {
+		if !ok {
+			return nil, fmt.Errorf("graph: SpanningTree: vertex %d unreachable from %d", v, root)
+		}
+	}
+	return t, nil
+}
+
+// Stretch returns the maximum over edges (u,v) of g of the distance between
+// u and v in spanner h: the ℓ of Lemma 4.5 (h is an ℓ-approximate subgraph
+// of g). h must span every edge of g; otherwise an error is returned.
+func Stretch(g, h *Graph) (int, error) {
+	if g.N != h.N {
+		return 0, fmt.Errorf("graph: Stretch: vertex sets differ (%d vs %d)", g.N, h.N)
+	}
+	// Group queries by source to share BFS runs.
+	bySrc := make(map[int][]int)
+	for _, e := range g.Edges {
+		bySrc[e.U] = append(bySrc[e.U], e.V)
+	}
+	best := 0
+	for src, targets := range bySrc {
+		dist := h.BFS(src)
+		for _, v := range targets {
+			d := dist[v]
+			if d < 0 {
+				return 0, fmt.Errorf("graph: Stretch: edge (%d,%d) of g disconnected in h", src, v)
+			}
+			if d > best {
+				best = d
+			}
+		}
+	}
+	return best, nil
+}
+
+// RootedParents returns, for a tree, the parent of every vertex when rooted
+// at root (parent[root] = −1) along with the edge index to the parent and a
+// preorder listing of vertices. Errors if g is not a tree.
+func (g *Graph) RootedParents(root int) (parent, parentEdge, order []int, err error) {
+	if !g.IsTree() {
+		return nil, nil, nil, fmt.Errorf("graph: RootedParents on non-tree")
+	}
+	parent = make([]int, g.N)
+	parentEdge = make([]int, g.N)
+	order = make([]int, 0, g.N)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+		parentEdge[i] = -1
+	}
+	parent[root] = -1
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, h := range g.adj[u] {
+			if parent[h.To] == -2 {
+				parent[h.To] = u
+				parentEdge[h.To] = h.Edge
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return parent, parentEdge, order, nil
+}

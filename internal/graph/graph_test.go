@@ -1,0 +1,281 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	g.MustAddEdge(n-1, 0)
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if _, err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self loop allowed")
+	}
+	if _, err := g.AddEdge(0, 3); err == nil {
+		t.Fatal("out of range allowed")
+	}
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate (reversed) edge allowed")
+	}
+}
+
+func TestHasEdgeAndDegree(t *testing.T) {
+	g := path(4)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("HasEdge broken")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 {
+		t.Fatal("wrong degrees")
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := path(5)
+	d := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("BFS dist to %d = %d, want %d", i, d[i], want)
+		}
+	}
+	if g.Dist(0, 4) != 4 || g.Dist(4, 0) != 4 {
+		t.Fatal("Dist wrong")
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	d := g.BFS(0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Fatal("unreachable vertices should be -1")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	id, count := g.Components()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if id[0] != id[1] || id[2] != id[3] || id[0] == id[2] || id[4] == id[0] {
+		t.Fatalf("bad component ids %v", id)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !path(4).Connected() {
+		t.Fatal("path reported disconnected")
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	if !path(6).IsTree() {
+		t.Fatal("path should be a tree")
+	}
+	if cycle(6).IsTree() {
+		t.Fatal("cycle is not a tree")
+	}
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(1, 2)
+	if !g.IsTree() {
+		t.Fatal("spanning path should be a tree")
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	g := cycle(7)
+	tr, err := g.SpanningTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsTree() {
+		t.Fatal("SpanningTree did not return a tree")
+	}
+	// Spanning trees preserve connectivity.
+	d := tr.BFS(0)
+	for v, dist := range d {
+		if dist < 0 {
+			t.Fatalf("vertex %d unreachable in spanning tree", v)
+		}
+	}
+}
+
+func TestSpanningTreeDisconnected(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := g.SpanningTree(0); err == nil {
+		t.Fatal("expected error for disconnected graph")
+	}
+}
+
+func TestStretchCycleSpanningTree(t *testing.T) {
+	// Removing one edge from an n-cycle stretches that edge to n−1
+	// (the Section 4.3 discussion).
+	n := 9
+	g := cycle(n)
+	tr, err := g.SpanningTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stretch(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != n-1 {
+		t.Fatalf("cycle spanning tree stretch = %d, want %d", s, n-1)
+	}
+}
+
+func TestStretchIdentity(t *testing.T) {
+	g := path(5)
+	s, err := Stretch(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("self stretch = %d, want 1", s)
+	}
+}
+
+func TestStretchMissingCoverage(t *testing.T) {
+	g := path(3)
+	h := New(3) // empty spanner cannot cover edges
+	if _, err := Stretch(g, h); err == nil {
+		t.Fatal("expected error when spanner disconnects an edge")
+	}
+}
+
+func TestRootedParents(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(2, 4)
+	parent, parentEdge, order, err := g.RootedParents(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[0] != -1 || parentEdge[0] != -1 {
+		t.Fatal("root should have no parent")
+	}
+	if parent[1] != 0 || parent[2] != 0 || parent[3] != 2 || parent[4] != 2 {
+		t.Fatalf("parents %v", parent)
+	}
+	if len(order) != 5 || order[0] != 0 {
+		t.Fatalf("order %v", order)
+	}
+	// Parents appear before children in BFS order.
+	pos := make([]int, 5)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := 1; v < 5; v++ {
+		if pos[parent[v]] >= pos[v] {
+			t.Fatalf("parent of %d appears after it", v)
+		}
+	}
+	// Parent edges connect the right endpoints.
+	for v := 1; v < 5; v++ {
+		e := g.Edges[parentEdge[v]]
+		if !(e.U == v && e.V == parent[v]) && !(e.V == v && e.U == parent[v]) {
+			t.Fatalf("parent edge of %d is (%d,%d)", v, e.U, e.V)
+		}
+	}
+}
+
+func TestRootedParentsNonTree(t *testing.T) {
+	if _, _, _, err := cycle(4).RootedParents(0); err == nil {
+		t.Fatal("expected error on non-tree")
+	}
+}
+
+func TestNeighborsIteration(t *testing.T) {
+	g := path(3)
+	var seen []int
+	g.Neighbors(1, func(v, e int) { seen = append(seen, v) })
+	if len(seen) != 2 {
+		t.Fatalf("neighbors of middle vertex: %v", seen)
+	}
+}
+
+func randomConnected(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	// Extra random edges.
+	for tries := 0; tries < n; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestQuickSpanningTreeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomConnected(rng, n)
+		tr, err := g.SpanningTree(rng.Intn(n))
+		if err != nil || !tr.IsTree() {
+			return false
+		}
+		// BFS spanning trees preserve distances from the root.
+		root := 0
+		dg := g.BFS(root)
+		dt := tr.BFS(root)
+		for v := range dg {
+			if dt[v] < dg[v] {
+				return false // tree can't be shorter than graph
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStretchAtLeastOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := randomConnected(rng, n)
+		tr, err := g.SpanningTree(0)
+		if err != nil {
+			return false
+		}
+		s, err := Stretch(g, tr)
+		return err == nil && s >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

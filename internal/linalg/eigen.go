@@ -1,0 +1,189 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigenvalues returns the eigenvalues of the symmetric matrix a in
+// descending order. It tridiagonalizes with Householder reflections and then
+// runs the implicit QL algorithm, so it is O(n³) with a small constant and
+// handles the Gram matrices (up to a few thousand wide) used for singular
+// value computation.
+func SymEigenvalues(a *Matrix) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: SymEigenvalues wants square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, nil
+	}
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // off-diagonal
+	work := a.Clone()
+	tred2(work, d, e)
+	if err := tql2(d, e); err != nil {
+		return nil, err
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(d)))
+	return d, nil
+}
+
+// SingularValues returns the singular values of a (any shape) in descending
+// order, computed as square roots of the eigenvalues of the smaller Gram
+// matrix. Tiny negative eigenvalues from roundoff are clamped to zero.
+func SingularValues(a *Matrix) ([]float64, error) {
+	var gram *Matrix
+	if a.Rows >= a.Cols {
+		gram = Mul(a.T(), a)
+	} else {
+		gram = Mul(a, a.T())
+	}
+	ev, err := SymEigenvalues(gram)
+	if err != nil {
+		return nil, err
+	}
+	sv := make([]float64, len(ev))
+	for i, v := range ev {
+		if v < 0 {
+			v = 0
+		}
+		sv[i] = math.Sqrt(v)
+	}
+	return sv, nil
+}
+
+// tred2 reduces a symmetric matrix to tridiagonal form by Householder
+// transformations (EISPACK TRED2, eigenvectors not accumulated).
+func tred2(a *Matrix, d, e []float64) {
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		d[j] = a.At(n-1, j)
+	}
+	for i := n - 1; i > 0; i-- {
+		l := i - 1
+		var h, scale float64
+		for k := 0; k <= l; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[l]
+			for j := 0; j <= l; j++ {
+				d[j] = a.At(l, j)
+			}
+		} else {
+			for k := 0; k <= l; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[l]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[l] = f - g
+			for j := 0; j <= l; j++ {
+				e[j] = 0
+			}
+			for j := 0; j <= l; j++ {
+				f = d[j]
+				g = e[j] + a.At(j, j)*f
+				for k := j + 1; k <= l; k++ {
+					g += a.At(k, j) * d[k]
+					e[k] += a.At(k, j) * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j <= l; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j <= l; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j <= l; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= l; k++ {
+					a.Set(k, j, a.At(k, j)-f*e[k]-g*d[k])
+				}
+				d[j] = a.At(l, j)
+			}
+		}
+		d[i] = h
+	}
+	for i := 1; i < n; i++ {
+		d[i-1] = a.At(i-1, i-1)
+	}
+	d[n-1] = a.At(n-1, n-1)
+	// Shift off-diagonal for tql2's 1-based convention.
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+}
+
+// tql2 computes eigenvalues of a symmetric tridiagonal matrix with the QL
+// algorithm and implicit shifts (EISPACK TQL2, eigenvalues only).
+func tql2(d, e []float64) error {
+	n := len(d)
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			// Find small subdiagonal element.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-15*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				return fmt.Errorf("linalg: tql2 failed to converge at index %d", l)
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = d[m] - d[l] + e[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSymEigenvaluesDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	ev, err := SymEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if !almostEqual(ev[i], want[i], 1e-10) {
+			t.Fatalf("eigenvalues %v, want %v", ev, want)
+		}
+	}
+}
+
+func TestSymEigenvaluesKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	ev, err := SymEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ev[0], 3, 1e-10) || !almostEqual(ev[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues %v", ev)
+	}
+}
+
+func TestSymEigenvaluesPathLaplacian(t *testing.T) {
+	// The Laplacian of the path on n vertices has eigenvalues
+	// 2−2·cos(πk/n), k = 0..n−1.
+	n := 8
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		deg := 2.0
+		if i == 0 || i == n-1 {
+			deg = 1
+		}
+		a.Set(i, i, deg)
+		if i+1 < n {
+			a.Set(i, i+1, -1)
+			a.Set(i+1, i, -1)
+		}
+	}
+	ev, err := SymEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	for k := 0; k < n; k++ {
+		want = append(want, 2-2*math.Cos(math.Pi*float64(k)/float64(n)))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+	for i := range want {
+		if !almostEqual(ev[i], want[i], 1e-9) {
+			t.Fatalf("eigenvalue %d: got %g want %g", i, ev[i], want[i])
+		}
+	}
+}
+
+func TestSymEigenvaluesTraceAndFrobenius(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(12)
+		b := randomMatrix(rng, n, n)
+		a := Mul(b, b.T()) // symmetric PSD
+		ev, err := SymEigenvalues(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace, evSum, frob, evSq float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		for _, v := range a.Data {
+			frob += v * v
+		}
+		for _, v := range ev {
+			evSum += v
+			evSq += v * v
+			if v < -1e-8 {
+				t.Fatalf("PSD matrix has negative eigenvalue %g", v)
+			}
+		}
+		if !almostEqual(trace, evSum, 1e-6*(1+math.Abs(trace))) {
+			t.Fatalf("trace %g != eigenvalue sum %g", trace, evSum)
+		}
+		if !almostEqual(frob, evSq, 1e-6*(1+frob)) {
+			t.Fatalf("frobenius² %g != Σλ² %g", frob, evSq)
+		}
+	}
+}
+
+func TestSingularValuesKnown(t *testing.T) {
+	// diag(3, 4) has singular values 4, 3.
+	a := FromRows([][]float64{{3, 0}, {0, 4}})
+	sv, err := SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sv[0], 4, 1e-9) || !almostEqual(sv[1], 3, 1e-9) {
+		t.Fatalf("singular values %v", sv)
+	}
+}
+
+func TestSingularValuesRectangularConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomMatrix(rng, 9, 4)
+	sv1, err := SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv2, err := SingularValues(a.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nonzero singular values agree between A and Aᵀ.
+	for i := 0; i < 4; i++ {
+		if !almostEqual(sv1[i], sv2[i], 1e-7*(1+sv1[i])) {
+			t.Fatalf("singular value %d: %g vs %g", i, sv1[i], sv2[i])
+		}
+	}
+}
+
+func TestSingularValuesFrobenius(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomMatrix(rng, 6, 10)
+	sv, err := SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frob, svSq float64
+	for _, v := range a.Data {
+		frob += v * v
+	}
+	for _, v := range sv {
+		svSq += v * v
+	}
+	if !almostEqual(frob, svSq, 1e-6*(1+frob)) {
+		t.Fatalf("‖A‖²_F %g != Σσ² %g", frob, svSq)
+	}
+}
+
+func TestSymEigenvaluesEmpty(t *testing.T) {
+	ev, err := SymEigenvalues(New(0, 0))
+	if err != nil || len(ev) != 0 {
+		t.Fatalf("empty matrix: %v %v", ev, err)
+	}
+}
+
+func TestSymEigenvaluesNonSquare(t *testing.T) {
+	if _, err := SymEigenvalues(New(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}

@@ -1,0 +1,367 @@
+// Package linalg provides the dense linear algebra needed by the Blowfish
+// transformational-equivalence machinery: matrix products, Gaussian
+// elimination, Moore–Penrose right inverses, and symmetric eigenvalue /
+// singular value computation. It is deliberately small, allocation-conscious
+// and dependency-free; domains in this repository are at most a few thousand
+// wide, so dense O(n³) routines are adequate.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero matrix with the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add adds v to element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a·x.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns the vector-matrix product xᵀ·a as a vector.
+func VecMul(x []float64, a *Matrix) []float64 {
+	if len(x) != a.Rows {
+		panic(fmt.Sprintf("linalg: VecMul shape mismatch %d · %dx%d", len(x), a.Rows, a.Cols))
+	}
+	out := make([]float64, a.Cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
+	return out
+}
+
+// Scale multiplies every entry by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Sub returns a−b.
+func Sub(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: Sub shape mismatch")
+	}
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// MaxAbsDiff returns max |a_ij − b_ij|, useful in tests.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ColAbsSum returns the L1 norm of column j (used for workload sensitivity).
+func (m *Matrix) ColAbsSum(j int) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += math.Abs(m.Data[i*m.Cols+j])
+	}
+	return s
+}
+
+// MaxColAbsSum returns max_j ColAbsSum(j), i.e. the L1→L1 operator norm,
+// which for a query matrix is its unbounded-DP sensitivity.
+func (m *Matrix) MaxColAbsSum() float64 {
+	var best float64
+	for j := 0; j < m.Cols; j++ {
+		if s := m.ColAbsSum(j); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ErrSingular is returned when elimination meets a (numerically) singular system.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve solves a·x = b for x using Gaussian elimination with partial
+// pivoting. a must be square; a and b are not modified.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Solve wants square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: Solve dimension mismatch")
+	}
+	n := a.Rows
+	aug := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, pmax := col, math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > pmax {
+				pivot, pmax = r, v
+			}
+		}
+		if pmax < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(aug, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		pv := aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				aug.Add(r, c, -f*aug.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= aug.At(i, j) * x[j]
+		}
+		x[i] = s / aug.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns a⁻¹ for a square matrix via Gauss-Jordan with partial
+// pivoting.
+func Inverse(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Inverse wants square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	work := a.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		pivot, pmax := col, math.Abs(work.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(work.At(r, col)); v > pmax {
+				pivot, pmax = r, v
+			}
+		}
+		if pmax < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		pv := work.At(col, col)
+		for c := 0; c < n; c++ {
+			work.Set(col, c, work.At(col, c)/pv)
+			inv.Set(col, c, inv.At(col, c)/pv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				work.Add(r, c, -f*work.At(col, c))
+				inv.Add(r, c, -f*inv.At(col, c))
+			}
+		}
+	}
+	return inv, nil
+}
+
+// RightInverse returns P⁺ = Pᵀ(P·Pᵀ)⁻¹, the Moore–Penrose right inverse of a
+// full-row-rank matrix P, satisfying P·P⁺ = I.
+func RightInverse(p *Matrix) (*Matrix, error) {
+	gram := Mul(p, p.T())
+	gi, err := Inverse(gram)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: right inverse: %w", err)
+	}
+	return Mul(p.T(), gi), nil
+}
+
+// PseudoInverseTall returns A⁺ = (AᵀA)⁻¹Aᵀ, the Moore–Penrose pseudo-inverse
+// of a full-column-rank matrix A, satisfying A⁺·A = I.
+func PseudoInverseTall(a *Matrix) (*Matrix, error) {
+	gram := Mul(a.T(), a)
+	gi, err := Inverse(gram)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: pseudo inverse: %w", err)
+	}
+	return Mul(gi, a.T()), nil
+}
+
+// Rank returns the numerical rank of a (Gaussian elimination with full row
+// pivoting, tolerance relative to the largest entry).
+func Rank(a *Matrix) int {
+	work := a.Clone()
+	var maxEntry float64
+	for _, v := range work.Data {
+		if av := math.Abs(v); av > maxEntry {
+			maxEntry = av
+		}
+	}
+	if maxEntry == 0 {
+		return 0
+	}
+	tol := 1e-9 * maxEntry
+	rank := 0
+	row := 0
+	for col := 0; col < work.Cols && row < work.Rows; col++ {
+		pivot, pmax := -1, tol
+		for r := row; r < work.Rows; r++ {
+			if v := math.Abs(work.At(r, col)); v > pmax {
+				pivot, pmax = r, v
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		swapRows(work, pivot, row)
+		pv := work.At(row, col)
+		for r := row + 1; r < work.Rows; r++ {
+			f := work.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < work.Cols; c++ {
+				work.Add(r, c, -f*work.At(row, c))
+			}
+		}
+		rank++
+		row++
+	}
+	return rank
+}
+
+func swapRows(m *Matrix, a, b int) {
+	if a == b {
+		return
+	}
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}

@@ -1,0 +1,267 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewShape(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows wrong layout: %v", m.Data)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows should panic")
+		}
+	}()
+	FromRows([][]float64{{1}, {1, 2}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 4, 4)
+	got := Mul(Identity(4), a)
+	if MaxAbsDiff(got, a) > 1e-12 {
+		t.Fatal("I·A != A")
+	}
+	got = Mul(a, Identity(4))
+	if MaxAbsDiff(got, a) > 1e-12 {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatalf("got %v want %v", got.Data, want.Data)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch should panic")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 3, 5)
+	at := a.T()
+	if at.Rows != 5 || at.Cols != 3 {
+		t.Fatalf("transpose shape %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if MaxAbsDiff(at.T(), a) > 0 {
+		t.Fatal("double transpose changed matrix")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 4, 6)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	xm := New(6, 1)
+	copy(xm.Data, x)
+	want := Mul(a, xm)
+	got := MulVec(a, x)
+	for i := range got {
+		if !almostEqual(got[i], want.At(i, 0), 1e-12) {
+			t.Fatalf("MulVec mismatch at %d", i)
+		}
+	}
+}
+
+func TestVecMulMatchesTransposeMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 4, 6)
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := VecMul(x, a)
+	want := MulVec(a.T(), x)
+	for i := range got {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("VecMul mismatch at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Fatalf("wrong solution %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, want)
+		got, err := Solve(a, b)
+		if err != nil {
+			continue // exceedingly rare near-singular draw
+		}
+		for i := range got {
+			if !almostEqual(got[i], want[i], 1e-6) {
+				t.Fatalf("trial %d: solution mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomMatrix(rng, 6, 6)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(Mul(a, inv), Identity(6)) > 1e-8 {
+		t.Fatal("A·A⁻¹ != I")
+	}
+	if MaxAbsDiff(Mul(inv, a), Identity(6)) > 1e-8 {
+		t.Fatal("A⁻¹·A != I")
+	}
+}
+
+func TestRightInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomMatrix(rng, 3, 7) // full row rank almost surely
+	pi, err := RightInverse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(Mul(p, pi), Identity(3)) > 1e-8 {
+		t.Fatal("P·P⁺ != I")
+	}
+}
+
+func TestPseudoInverseTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomMatrix(rng, 7, 3)
+	ap, err := PseudoInverseTall(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(Mul(ap, a), Identity(3)) > 1e-8 {
+		t.Fatal("A⁺·A != I")
+	}
+}
+
+func TestRank(t *testing.T) {
+	if r := Rank(Identity(5)); r != 5 {
+		t.Fatalf("rank(I5) = %d", r)
+	}
+	a := FromRows([][]float64{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}})
+	if r := Rank(a); r != 2 {
+		t.Fatalf("rank = %d, want 2", r)
+	}
+	if r := Rank(New(3, 3)); r != 0 {
+		t.Fatalf("rank(0) = %d", r)
+	}
+}
+
+func TestColAbsSums(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {-3, 4}})
+	if a.ColAbsSum(0) != 4 || a.ColAbsSum(1) != 6 {
+		t.Fatal("wrong column sums")
+	}
+	if a.MaxColAbsSum() != 6 {
+		t.Fatal("wrong max column sum")
+	}
+}
+
+func TestScaleSub(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := a.Clone().Scale(2)
+	d := Sub(b, a)
+	if d.At(0, 0) != 1 || d.At(0, 1) != 2 {
+		t.Fatalf("Sub wrong: %v", d.Data)
+	}
+}
+
+func TestQuickSolveProperty(t *testing.T) {
+	// Property: for random well-conditioned diagonal-dominant systems,
+	// Solve(a, a·x) == x.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 10) // make diagonally dominant
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		got, err := Solve(a, MulVec(a, want))
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if !almostEqual(got[i], want[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package lowerbound implements the error lower bounds of Appendix A: the
+// SVD-based matrix-mechanism bound of Li and Miklau extended to Blowfish
+// policies (Corollary A.2), which drives Figure 10, and the Ω(1/ε²) bound of
+// Lemma 5.3.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/privacylab/blowfish/internal/core"
+	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+// PFactor returns P(ε, δ) = 2·log(2/δ)/ε², the constant of Corollary A.2.
+func PFactor(eps, delta float64) float64 {
+	return 2 * math.Log(2/delta) / (eps * eps)
+}
+
+// SVDBound returns the Corollary A.2 lower bound for answering workload w
+// under (ε, δ, G)-Blowfish privacy with any matrix mechanism:
+//
+//	P(ε, δ) · (λ₁ + … + λ_s)² / n_G
+//
+// where λᵢ are the singular values of the transformed workload W_G and n_G
+// is its number of columns (the policy's edge count).
+func SVDBound(w *workload.Workload, p *policy.Policy, eps, delta float64) (float64, error) {
+	tr, err := transformFor(p)
+	if err != nil {
+		return 0, err
+	}
+	wg := tr.TransformWorkload(w)
+	sv, err := linalg.SingularValues(wg)
+	if err != nil {
+		return 0, fmt.Errorf("lowerbound: singular values of W_G: %w", err)
+	}
+	var sum float64
+	for _, v := range sv {
+		sum += v
+	}
+	ng := float64(wg.Cols)
+	return PFactor(eps, delta) * sum * sum / ng, nil
+}
+
+// SVDBoundDP returns the original Li–Miklau bound for the untransformed
+// workload under plain differential privacy (the "unbounded DP" series of
+// Figure 10); it equals SVDBound with the unbounded policy, but avoids the
+// transform by using W directly with n = k columns.
+func SVDBoundDP(w *workload.Workload, eps, delta float64) (float64, error) {
+	m := w.ToMatrix()
+	sv, err := linalg.SingularValues(m)
+	if err != nil {
+		return 0, fmt.Errorf("lowerbound: singular values of W: %w", err)
+	}
+	var sum float64
+	for _, v := range sv {
+		sum += v
+	}
+	return PFactor(eps, delta) * sum * sum / float64(m.Cols), nil
+}
+
+func transformFor(p *policy.Policy) (*core.Transform, error) {
+	return core.New(p)
+}
+
+// Range1DUnderLine is the Lemma 5.3 bound: any (ε, G¹_k)-Blowfish mechanism
+// answers R_k with Ω(1/ε²) error per query. The function returns the
+// concrete constant used for plotting, 1/ε².
+func Range1DUnderLine(eps float64) float64 { return 1 / (eps * eps) }

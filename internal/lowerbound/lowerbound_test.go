@@ -1,0 +1,162 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+func TestPFactor(t *testing.T) {
+	got := PFactor(1, 0.001)
+	want := 2 * math.Log(2000)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P(1,0.001) = %g, want %g", got, want)
+	}
+}
+
+func TestRangeGram1DMatchesExplicit(t *testing.T) {
+	// Closed form vs explicit WᵀW for R_k.
+	k := 7
+	w := workload.AllRanges1D(k).ToMatrix()
+	explicit := linalg.Mul(w.T(), w)
+	closed := RangeGram1D(k)
+	if linalg.MaxAbsDiff(explicit, closed) > 1e-9 {
+		t.Fatal("closed-form 1-D Gram mismatch")
+	}
+}
+
+func TestRangeGramGridMatchesExplicit(t *testing.T) {
+	dims := []int{3, 4}
+	w := workload.AllRangesKd(dims).ToMatrix()
+	explicit := linalg.Mul(w.T(), w)
+	closed := RangeGramGrid(dims)
+	if linalg.MaxAbsDiff(explicit, closed) > 1e-9 {
+		t.Fatal("closed-form grid Gram mismatch")
+	}
+}
+
+func TestSVDBoundMatchesGramPath(t *testing.T) {
+	// The explicit-W bound and the Gram-based bound must agree.
+	k := 6
+	w := workload.AllRanges1D(k)
+	p, err := policy.DistanceThreshold([]int{k}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SVDBound(w, p, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SVDBoundFromGram(RangeGram1D(k), p, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b)/a > 1e-6 {
+		t.Fatalf("bounds disagree: %g vs %g", a, b)
+	}
+}
+
+func TestSVDBoundDPMatchesGramPath(t *testing.T) {
+	k := 6
+	w := workload.AllRanges1D(k)
+	a, err := SVDBoundDP(w, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SVDBoundDPFromGram(RangeGram1D(k), 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b)/a > 1e-6 {
+		t.Fatalf("DP bounds disagree: %g vs %g", a, b)
+	}
+}
+
+func TestSVDBoundLinePolicyBelowDP(t *testing.T) {
+	// The Figure 10a headline: under G^1_k the bound grows slower than
+	// unbounded DP, so at a large enough domain it is smaller.
+	k := 48
+	gram := RangeGram1D(k)
+	dp, err := SVDBoundDPFromGram(gram, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := policy.DistanceThreshold([]int{k}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blow, err := SVDBoundFromGram(gram, p, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blow >= dp {
+		t.Fatalf("G^1_k bound %g not below DP bound %g at k=%d", blow, dp, k)
+	}
+}
+
+func TestSVDBoundMonotoneInTheta(t *testing.T) {
+	// Larger θ means weaker privacy between near values but more edges to
+	// protect; the paper's Figure 10a shows the bound increasing with θ at a
+	// fixed domain size.
+	k := 32
+	gram := RangeGram1D(k)
+	var prev float64
+	for i, theta := range []int{1, 2, 4, 8} {
+		p, err := policy.DistanceThreshold([]int{k}, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SVDBoundFromGram(gram, p, 1, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && b < prev {
+			t.Fatalf("bound decreased from theta: %g -> %g", prev, b)
+		}
+		prev = b
+	}
+}
+
+func TestSVDBoundGrowsWithDomain(t *testing.T) {
+	var prev float64
+	for i, k := range []int{8, 16, 32} {
+		b, err := SVDBoundDPFromGram(RangeGram1D(k), 1, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && b <= prev {
+			t.Fatalf("DP bound not growing with k: %g -> %g", prev, b)
+		}
+		prev = b
+	}
+}
+
+func TestRange1DUnderLine(t *testing.T) {
+	if Range1DUnderLine(0.5) != 4 {
+		t.Fatal("Lemma 5.3 constant wrong")
+	}
+}
+
+func TestSVDBound2DBoundedAboveUnboundedShape(t *testing.T) {
+	// Figure 10b: every θ beats bounded DP.
+	g := 4
+	gram := RangeGramGrid([]int{g, g})
+	bounded, err := SVDBoundFromGram(gram, policy.Bounded(g*g), 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := policy.DistanceThreshold([]int{g, g}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta1, err := SVDBoundFromGram(gram, p, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theta1 >= bounded {
+		t.Fatalf("theta=1 bound %g not below bounded-DP bound %g", theta1, bounded)
+	}
+}

@@ -1,0 +1,52 @@
+package mech
+
+// IsotonicNonDecreasing returns the L2 projection of y onto non-decreasing
+// sequences using the pool-adjacent-violators algorithm. This is the
+// consistency post-processing of Section 5.4.2: when the transformed
+// database x_G is a vector of prefix sums it is non-decreasing by
+// construction, and projecting the noisy estimate back onto that constraint
+// set reduces error in proportion to the number of repeated values (i.e.
+// dramatically on sparse histograms, per Hay et al.).
+func IsotonicNonDecreasing(y []float64) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	// Blocks of pooled values: value, weight (length).
+	vals := make([]float64, 0, n)
+	lens := make([]int, 0, n)
+	for _, v := range y {
+		vals = append(vals, v)
+		lens = append(lens, 1)
+		// Merge while the monotonicity constraint is violated.
+		for len(vals) >= 2 && vals[len(vals)-2] > vals[len(vals)-1] {
+			l2, l1 := lens[len(lens)-2], lens[len(lens)-1]
+			merged := (vals[len(vals)-2]*float64(l2) + vals[len(vals)-1]*float64(l1)) / float64(l2+l1)
+			vals = vals[:len(vals)-1]
+			lens = lens[:len(lens)-1]
+			vals[len(vals)-1] = merged
+			lens[len(lens)-1] = l2 + l1
+		}
+	}
+	i := 0
+	for b, v := range vals {
+		for j := 0; j < lens[b]; j++ {
+			out[i] = v
+			i++
+		}
+	}
+	return out
+}
+
+// ClampNonNegative replaces negative entries with zero; a cheap consistency
+// step for count estimates (post-processing).
+func ClampNonNegative(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package mech
+
+import (
+	"math"
+
+	"github.com/privacylab/blowfish/internal/noise"
+)
+
+// Appendix A extends the transformational equivalence to (ε, δ)-differential
+// privacy: (ε, δ, G)-Blowfish privacy for a tree policy is exactly
+// (ε, δ)-DP on the transformed database. The workhorse of (ε, δ)-DP is the
+// Gaussian mechanism, implemented here with the classic calibration of
+// Dwork and Roth: σ = Δ₂·sqrt(2·ln(1.25/δ))/ε for ε ∈ (0, 1).
+
+// GaussianSigma returns the noise standard deviation calibrating the
+// Gaussian mechanism to (eps, delta)-DP for L2 sensitivity l2.
+func GaussianSigma(l2, eps, delta float64) float64 {
+	if eps <= 0 || delta <= 0 {
+		return 0
+	}
+	return l2 * math.Sqrt(2*math.Log(1.25/delta)) / eps
+}
+
+// GaussianVector releases x + N(0, σ²)^k with σ calibrated for an L2
+// sensitivity of l2 under (eps, delta)-DP. For a transformed database x_G of
+// a tree policy (Claim 4.2: neighbors differ by 1 in one coordinate, so
+// l2 = 1) this is an (ε, δ, G)-Blowfish release.
+func GaussianVector(x []float64, l2, eps, delta float64, src *noise.Source) []float64 {
+	sigma := GaussianSigma(l2, eps, delta)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v + sigma*src.NormFloat64()
+	}
+	return out
+}
+
+// GaussianVariance returns the per-coordinate variance of GaussianVector.
+func GaussianVariance(l2, eps, delta float64) float64 {
+	s := GaussianSigma(l2, eps, delta)
+	return s * s
+}

@@ -1,0 +1,62 @@
+package mech
+
+import (
+	"math"
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/noise"
+)
+
+func TestGaussianSigmaCalibration(t *testing.T) {
+	// σ = Δ·sqrt(2 ln(1.25/δ))/ε.
+	got := GaussianSigma(1, 1, 1e-5)
+	want := math.Sqrt(2 * math.Log(1.25e5))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sigma %g, want %g", got, want)
+	}
+	// Scales linearly in L2 sensitivity, inversely in ε.
+	if GaussianSigma(2, 1, 1e-5) != 2*got {
+		t.Fatal("sigma not linear in sensitivity")
+	}
+	if math.Abs(GaussianSigma(1, 2, 1e-5)-got/2) > 1e-12 {
+		t.Fatal("sigma not inverse in eps")
+	}
+}
+
+func TestGaussianSigmaDegenerate(t *testing.T) {
+	if GaussianSigma(1, 0, 1e-5) != 0 || GaussianSigma(1, 1, 0) != 0 {
+		t.Fatal("non-positive parameters should disable noise")
+	}
+}
+
+func TestGaussianVectorMoments(t *testing.T) {
+	src := noise.NewSource(1)
+	x := make([]float64, 20000)
+	eps, delta := 1.0, 1e-4
+	out := GaussianVector(x, 1, eps, delta, src)
+	var sum, sq float64
+	for _, v := range out {
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(len(out))
+	variance := sq/float64(len(out)) - mean*mean
+	want := GaussianVariance(1, eps, delta)
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Fatalf("variance %g, want %g", variance, want)
+	}
+}
+
+func TestGaussianVectorZeroEpsExact(t *testing.T) {
+	src := noise.NewSource(2)
+	x := []float64{1, 2, 3}
+	out := GaussianVector(x, 1, 0, 1e-5, src)
+	for i := range x {
+		if out[i] != x[i] {
+			t.Fatal("eps=0 should be exact")
+		}
+	}
+}

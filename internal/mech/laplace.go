@@ -1,0 +1,49 @@
+package mech
+
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+// LaplaceVector releases x + Lap(Δ/ε)^k where delta is the sensitivity of
+// the vector release (1 per changed coordinate for a histogram under
+// unbounded DP).
+func LaplaceVector(x []float64, delta, eps float64, src *noise.Source) []float64 {
+	out := make([]float64, len(x))
+	scale := 0.0
+	if eps > 0 {
+		scale = delta / eps
+	}
+	for i, v := range x {
+		out[i] = v + src.Laplace(scale)
+	}
+	return out
+}
+
+// LaplaceWorkload is the Laplace mechanism of Theorem 2.1: it releases
+// W·x + Lap(Δ_W/ε)^q. The expected squared error per query is 2·Δ_W²/ε².
+func LaplaceWorkload(w *workload.Workload, x []float64, eps float64, src *noise.Source) []float64 {
+	if len(x) != w.K {
+		panic(fmt.Sprintf("mech: LaplaceWorkload: database size %d != domain %d", len(x), w.K))
+	}
+	delta := w.Sensitivity()
+	ans := w.Answers(x)
+	scale := 0.0
+	if eps > 0 {
+		scale = delta / eps
+	}
+	for i := range ans {
+		ans[i] += src.Laplace(scale)
+	}
+	return ans
+}
+
+// LaplaceWorkloadError returns the analytic data-independent mean squared
+// error of the Laplace mechanism for the whole workload: 2·q·Δ_W²/ε²
+// (Theorem 2.1).
+func LaplaceWorkloadError(w *workload.Workload, eps float64) float64 {
+	d := w.Sensitivity()
+	return 2 * float64(w.Len()) * d * d / (eps * eps)
+}

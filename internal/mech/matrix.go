@@ -1,0 +1,80 @@
+package mech
+
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/noise"
+)
+
+// MatrixMechanism is the framework of Li et al. (PODS 2010), Equation 2 of
+// the paper: for a strategy matrix A it releases
+//
+//	M_A(W, x) = W·x + W·A⁺·Lap(Δ_A/ε)^p,
+//
+// which is ε-DP, and — by Theorem 4.1 — (ε, G)-Blowfish private when Δ_A is
+// replaced by the policy-specific sensitivity Δ_A(G). The type is built once
+// per (W, A) pair; Answer draws fresh noise.
+type MatrixMechanism struct {
+	w, a, recon *linalg.Matrix // recon = W·A⁺
+	delta       float64        // sensitivity the noise is calibrated to
+}
+
+// NewMatrixMechanism prepares the mechanism for workload w with strategy a,
+// calibrating noise to the given sensitivity delta (Δ_A for plain DP,
+// Δ_A(G) for Blowfish via Theorem 4.1). It verifies the strategy supports
+// the workload (W·A⁺·A = W).
+func NewMatrixMechanism(w, a *linalg.Matrix, delta float64) (*MatrixMechanism, error) {
+	if w.Cols != a.Cols {
+		return nil, fmt.Errorf("mech: workload has %d columns, strategy %d", w.Cols, a.Cols)
+	}
+	aPlus, err := pseudoInverse(a)
+	if err != nil {
+		return nil, fmt.Errorf("mech: strategy pseudo-inverse: %w", err)
+	}
+	recon := linalg.Mul(w, aPlus)
+	back := linalg.Mul(recon, a)
+	if d := linalg.MaxAbsDiff(back, w); d > 1e-6 {
+		return nil, fmt.Errorf("mech: strategy does not support workload (max residual %g)", d)
+	}
+	return &MatrixMechanism{w: w, a: a, recon: recon, delta: delta}, nil
+}
+
+// pseudoInverse picks the applicable Moore–Penrose construction by shape.
+func pseudoInverse(a *linalg.Matrix) (*linalg.Matrix, error) {
+	if a.Rows >= a.Cols {
+		return linalg.PseudoInverseTall(a)
+	}
+	return linalg.RightInverse(a)
+}
+
+// Answer releases noisy workload answers on database x with budget eps.
+func (m *MatrixMechanism) Answer(x []float64, eps float64, src *noise.Source) []float64 {
+	if len(x) != m.w.Cols {
+		panic(fmt.Sprintf("mech: MatrixMechanism.Answer: database size %d != domain %d", len(x), m.w.Cols))
+	}
+	ans := linalg.MulVec(m.w, x)
+	scale := 0.0
+	if eps > 0 {
+		scale = m.delta / eps
+	}
+	eta := src.LaplaceVec(m.a.Rows, scale)
+	noiseVec := linalg.MulVec(m.recon, eta)
+	for i := range ans {
+		ans[i] += noiseVec[i]
+	}
+	return ans
+}
+
+// ExpectedError returns the analytic total mean squared error of the
+// mechanism: 2·(Δ/ε)²·‖W·A⁺‖²_F, which is data independent.
+func (m *MatrixMechanism) ExpectedError(eps float64) float64 {
+	var frob float64
+	for _, v := range m.recon.Data {
+		frob += v * v
+	}
+	return 2 * (m.delta / eps) * (m.delta / eps) * frob
+}
+
+// Strategy returns the strategy matrix (for inspection in tests).
+func (m *MatrixMechanism) Strategy() *linalg.Matrix { return m.a }

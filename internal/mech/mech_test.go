@@ -1,0 +1,363 @@
+package mech
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+func TestLaplaceVectorZeroEpsExact(t *testing.T) {
+	src := noise.NewSource(1)
+	x := []float64{1, 2, 3}
+	got := LaplaceVector(x, 1, 0, src)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatal("eps=0 should be exact")
+		}
+	}
+}
+
+func TestLaplaceWorkloadErrorMatchesTheorem21(t *testing.T) {
+	// Empirical total squared error of the Laplace mechanism must match
+	// 2·q·Δ²/ε² (Theorem 2.1).
+	k := 16
+	w := workload.Cumulative(k) // Δ = k
+	x := make([]float64, k)
+	truth := w.Answers(x)
+	eps := 1.0
+	src := noise.NewSource(2)
+	const trials = 3000
+	var total float64
+	for i := 0; i < trials; i++ {
+		got := LaplaceWorkload(w, x, eps, src.Split())
+		for j := range got {
+			d := got[j] - truth[j]
+			total += d * d
+		}
+	}
+	got := total / trials
+	want := LaplaceWorkloadError(w, eps)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("empirical error %g, analytic %g", got, want)
+	}
+}
+
+func TestMatrixMechanismIdentityStrategy(t *testing.T) {
+	// With A = I the matrix mechanism is the Laplace mechanism on cells.
+	k := 8
+	w := workload.Identity(k).ToMatrix()
+	mm, err := NewMatrixMechanism(w, linalg.Identity(k), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	got := mm.Answer(x, 0, noise.NewSource(3))
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-12 {
+			t.Fatal("eps=0 matrix mechanism should be exact")
+		}
+	}
+	// Analytic error: 2·(1/ε)²·k.
+	if e := mm.ExpectedError(1); math.Abs(e-2*float64(k)) > 1e-9 {
+		t.Fatalf("expected error %g, want %g", e, 2*float64(k))
+	}
+}
+
+func TestMatrixMechanismRejectsUnsupportedWorkload(t *testing.T) {
+	// A strategy whose row space misses the workload must be rejected.
+	w := workload.Identity(3).ToMatrix()
+	a := linalg.FromRows([][]float64{{1, 1, 1}}) // only the total
+	if _, err := NewMatrixMechanism(w, a, 1); err == nil {
+		t.Fatal("unsupported workload accepted")
+	}
+}
+
+func TestMatrixMechanismCumulativeStrategy(t *testing.T) {
+	// Answering C_k with the prefix strategy (A = C_k itself): exact
+	// reconstruction, error = 2(Δ/ε)²·q.
+	k := 6
+	w := workload.Cumulative(k).ToMatrix()
+	mm, err := NewMatrixMechanism(w, w.Clone(), float64(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noise.NewSource(4)
+	x := []float64{3, 1, 4, 1, 5, 9}
+	got := mm.Answer(x, 0, src)
+	truth := linalg.MulVec(w, x)
+	for i := range truth {
+		if math.Abs(got[i]-truth[i]) > 1e-9 {
+			t.Fatal("exactness failed")
+		}
+	}
+}
+
+func TestMatrixMechanismEmpiricalMatchesAnalytic(t *testing.T) {
+	k := 8
+	wm := workload.AllRanges1D(k).ToMatrix()
+	strat := workload.Cumulative(k).ToMatrix() // prefix strategy answers ranges
+	mm, err := NewMatrixMechanism(wm, strat, float64(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1.0
+	x := make([]float64, k)
+	truth := linalg.MulVec(wm, x)
+	src := noise.NewSource(5)
+	const trials = 2000
+	var total float64
+	for i := 0; i < trials; i++ {
+		got := mm.Answer(x, eps, src.Split())
+		for j := range got {
+			d := got[j] - truth[j]
+			total += d * d
+		}
+	}
+	emp := total / trials
+	ana := mm.ExpectedError(eps)
+	if math.Abs(emp-ana)/ana > 0.1 {
+		t.Fatalf("empirical %g vs analytic %g", emp, ana)
+	}
+}
+
+func TestIsotonicNonDecreasing(t *testing.T) {
+	in := []float64{1, 3, 2, 2, 5, 4}
+	out := IsotonicNonDecreasing(in)
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("not monotone: %v", out)
+		}
+	}
+	// Sum is preserved (projection onto monotone cone preserves mean).
+	var a, b float64
+	for i := range in {
+		a += in[i]
+		b += out[i]
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("sum changed: %g vs %g", a, b)
+	}
+	// Already monotone input is unchanged.
+	mono := []float64{1, 2, 2, 3}
+	got := IsotonicNonDecreasing(mono)
+	for i := range mono {
+		if got[i] != mono[i] {
+			t.Fatal("monotone input modified")
+		}
+	}
+	// Idempotence.
+	twice := IsotonicNonDecreasing(out)
+	for i := range out {
+		if math.Abs(twice[i]-out[i]) > 1e-12 {
+			t.Fatal("not idempotent")
+		}
+	}
+	if len(IsotonicNonDecreasing(nil)) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestIsotonicIsL2Projection(t *testing.T) {
+	// PAV output must be at least as close (L2) to the input as any other
+	// monotone vector; check against brute-force monotone candidates on a
+	// small grid.
+	in := []float64{2, 0, 1}
+	out := IsotonicNonDecreasing(in)
+	best := math.Inf(1)
+	var bestVec []float64
+	for a := -1.0; a <= 3; a += 0.1 {
+		for b := a; b <= 3; b += 0.1 {
+			for c := b; c <= 3; c += 0.1 {
+				d := (a-in[0])*(a-in[0]) + (b-in[1])*(b-in[1]) + (c-in[2])*(c-in[2])
+				if d < best {
+					best = d
+					bestVec = []float64{a, b, c}
+				}
+			}
+		}
+	}
+	var got float64
+	for i := range in {
+		got += (out[i] - in[i]) * (out[i] - in[i])
+	}
+	if got > best+1e-2 {
+		t.Fatalf("PAV distance %g worse than grid best %g (%v)", got, best, bestVec)
+	}
+}
+
+func TestQuickIsotonicProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+			vals[i] = math.Mod(vals[i], 1e6) // keep sums well-conditioned
+		}
+		out := IsotonicNonDecreasing(vals)
+		if len(out) != len(vals) {
+			return false
+		}
+		if !sort.Float64sAreSorted(out) {
+			return false
+		}
+		var a, b float64
+		for i := range vals {
+			a += vals[i]
+			b += out[i]
+		}
+		return math.Abs(a-b) <= 1e-6*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	got := ClampNonNegative([]float64{-1, 0, 2})
+	if got[0] != 0 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("clamp: %v", got)
+	}
+}
+
+func TestDAWAExactOnPiecewiseConstantNoNoise(t *testing.T) {
+	// With eps=0 (no noise in this library's convention) DAWA picks the true
+	// best partition; on dyadic piecewise-constant data the estimate is
+	// exact.
+	x := make([]float64, 16)
+	for i := 0; i < 8; i++ {
+		x[i] = 5
+	}
+	for i := 8; i < 16; i++ {
+		x[i] = 2
+	}
+	d := NewDAWA(x, 0, 0.25, noise.NewSource(1))
+	for i := range x {
+		if math.Abs(d.EstimatePoint(i)-x[i]) > 1e-9 {
+			t.Fatalf("DAWA estimate %v differs at %d", d.Histogram(), i)
+		}
+	}
+	if d.EstimateRange(0, 15) != 56 {
+		t.Fatalf("range estimate %g", d.EstimateRange(0, 15))
+	}
+}
+
+func TestDAWAMergesUniformRegions(t *testing.T) {
+	// A long zero run should be covered by few buckets.
+	x := make([]float64, 64)
+	x[0] = 100
+	d := NewDAWA(x, 0, 0.25, noise.NewSource(2))
+	if len(d.Buckets()) > 8 {
+		t.Fatalf("DAWA used %d buckets on near-constant data", len(d.Buckets()))
+	}
+}
+
+func TestDAWABeatsLaplaceOnSparseData(t *testing.T) {
+	// The defining behavior: on sparse data DAWA's total squared error is
+	// below per-cell Laplace at moderate eps.
+	k := 256
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, k)
+	for i := 0; i < 4; i++ {
+		x[rng.Intn(k)] = float64(100 + rng.Intn(100))
+	}
+	eps := 0.5
+	src := noise.NewSource(4)
+	const trials = 60
+	var dawaErr, lapErr float64
+	for i := 0; i < trials; i++ {
+		d := NewDAWA(x, eps, 0.25, src.Split())
+		for j := range x {
+			diff := d.EstimatePoint(j) - x[j]
+			dawaErr += diff * diff
+		}
+		noisy := LaplaceVector(x, 1, eps, src.Split())
+		for j := range x {
+			diff := noisy[j] - x[j]
+			lapErr += diff * diff
+		}
+	}
+	if dawaErr >= lapErr {
+		t.Fatalf("DAWA error %g not below Laplace %g on sparse data", dawaErr, lapErr)
+	}
+}
+
+func TestDAWAEstimateRangeMatchesHistogram(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	d := NewDAWA(x, 0.7, 0.25, noise.NewSource(5))
+	est := d.Histogram()
+	var want float64
+	for i := 1; i <= 3; i++ {
+		want += est[i]
+	}
+	if math.Abs(d.EstimateRange(1, 3)-want) > 1e-9 {
+		t.Fatal("EstimateRange inconsistent with Histogram")
+	}
+}
+
+func TestMetricExponentialBlowfishGuarantee(t *testing.T) {
+	// On any policy, output probabilities of policy-adjacent inputs must be
+	// within e^{2ε}: the numerator exp(−ε·d) moves by e^ε and the normalizer
+	// by another e^ε (the standard exponential-mechanism factor of 2).
+	p := policy.Line(6)
+	m := NewMetricExponential(p)
+	eps := 0.8
+	for _, e := range p.G.Edges {
+		for out := 0; out < p.K; out++ {
+			a := m.OutputProb(e.U, out, eps)
+			b := m.OutputProb(e.V, out, eps)
+			if a > b*math.Exp(2*eps)+1e-12 || b > a*math.Exp(2*eps)+1e-12 {
+				t.Fatalf("edge (%d,%d) output %d: probs %g vs %g violate e^{2eps}", e.U, e.V, out, a, b)
+			}
+		}
+	}
+}
+
+func TestMetricExponentialTheorem44Violation(t *testing.T) {
+	// Theorem 4.4 intuition: on a cycle, the exponential mechanism's output
+	// ratio between far-apart inputs exceeds e^ε — so it cannot be an ε-DP
+	// mechanism for any transformed instance that treats them as neighbors.
+	k := 8
+	g := policy.Line(k).G // rebuild a cycle
+	g.MustAddEdge(k-1, 0)
+	p := &policy.Policy{Name: "cycle", K: k, G: g}
+	m := NewMetricExponential(p)
+	eps := 1.0
+	// Distance between 0 and 4 on the 8-cycle is 4.
+	a := m.OutputProb(0, 0, eps)
+	b := m.OutputProb(4, 0, eps)
+	if a <= b*math.Exp(2*eps) {
+		t.Fatalf("expected ratio > e^{2eps} between far inputs, got %g vs %g", a, b)
+	}
+	// But the Blowfish guarantee (distance-scaled, with the normalizer
+	// factor) still holds.
+	if a > b*math.Exp(2*4*eps)+1e-12 {
+		t.Fatal("distance-scaled guarantee violated")
+	}
+}
+
+func TestMetricExponentialSampleDistribution(t *testing.T) {
+	p := policy.Line(5)
+	m := NewMetricExponential(p)
+	src := noise.NewSource(6)
+	counts := make([]int, 5)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(2, 1, src)]++
+	}
+	// Output 2 must be the mode.
+	for v := 0; v < 5; v++ {
+		if v != 2 && counts[v] >= counts[2] {
+			t.Fatalf("output %d sampled as often as the true value: %v", v, counts)
+		}
+	}
+}

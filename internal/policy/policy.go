@@ -1,0 +1,252 @@
+// Package policy implements Blowfish policy graphs (Def 3.1): graphs over the
+// record domain T ∪ {⊥} whose edges name the pairs of values an adversary
+// must not distinguish. It provides the paper's concrete policies — full
+// (unbounded/bounded differential privacy), line graphs G¹_k,
+// distance-threshold graphs G^θ_{k^d} including 2-D grids — together with the
+// spanner constructions H^θ of Section 5.3 and the policy metric dist_G.
+package policy
+
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/graph"
+)
+
+// Policy is a Blowfish policy graph over the domain {0, …, K−1}, optionally
+// including the special vertex ⊥. When HasBottom is true, vertex index K of
+// the underlying graph is ⊥.
+type Policy struct {
+	// Name identifies the policy in logs and experiment output, e.g. "G^1_k".
+	Name string
+	// K is the domain size |T|.
+	K int
+	// HasBottom reports whether ⊥ participates: policies with ⊥ generalize
+	// unbounded differential privacy; policies without fix the database size.
+	HasBottom bool
+	// G is the underlying graph on K vertices (K+1 when HasBottom; ⊥ = K).
+	G *graph.Graph
+	// Dims, when non-nil, records the multidimensional shape of the domain
+	// (domain value i has coordinates Unrank(Dims, i)). len(Dims) == d.
+	Dims []int
+	// Theta is the distance threshold for G^θ policies (0 otherwise).
+	Theta int
+}
+
+// Bottom returns the vertex index of ⊥, or −1 if the policy has no ⊥.
+func (p *Policy) Bottom() int {
+	if !p.HasBottom {
+		return -1
+	}
+	return p.K
+}
+
+// NumVertices returns the vertex count of the underlying graph.
+func (p *Policy) NumVertices() int { return p.G.N }
+
+// Validate checks internal consistency.
+func (p *Policy) Validate() error {
+	want := p.K
+	if p.HasBottom {
+		want++
+	}
+	if p.G.N != want {
+		return fmt.Errorf("policy %q: graph has %d vertices, want %d", p.Name, p.G.N, want)
+	}
+	if p.Dims != nil {
+		n := 1
+		for _, d := range p.Dims {
+			if d <= 0 {
+				return fmt.Errorf("policy %q: non-positive dimension %d", p.Name, d)
+			}
+			n *= d
+		}
+		if n != p.K {
+			return fmt.Errorf("policy %q: dims %v product %d != K %d", p.Name, p.Dims, n, p.K)
+		}
+	}
+	return nil
+}
+
+// Connected reports whether the policy graph is connected. Blowfish
+// mechanisms in this repository require connected policies; disconnected
+// ones are handled per component by core.SplitComponents (Appendix E).
+func (p *Policy) Connected() bool { return p.G.Connected() }
+
+// Dist returns the policy metric dist_G(u, v): the shortest-path length in G
+// between two domain values, which calibrates the privacy guarantee between
+// non-neighboring values (Eq. 1 of the paper). Returns −1 if disconnected.
+func (p *Policy) Dist(u, v int) int { return p.G.Dist(u, v) }
+
+// Unbounded returns the policy graph {(u, ⊥) : u ∈ T} whose Blowfish
+// instantiation is exactly unbounded ε-differential privacy.
+func Unbounded(k int) *Policy {
+	g := graph.New(k + 1)
+	for u := 0; u < k; u++ {
+		g.MustAddEdge(u, k)
+	}
+	return &Policy{Name: "unbounded-DP", K: k, HasBottom: true, G: g}
+}
+
+// Bounded returns the complete policy graph {(u, v) : u, v ∈ T} whose
+// Blowfish instantiation is bounded ε-differential privacy
+// (ε-indistinguishability).
+func Bounded(k int) *Policy {
+	g := graph.New(k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return &Policy{Name: "bounded-DP", K: k, G: g}
+}
+
+// Line returns the line graph G¹_k over a totally ordered domain: only
+// adjacent values are connected, so rough ranges are public and fine
+// distinctions are protected (the binned-salary example of Section 3).
+func Line(k int) *Policy {
+	g := graph.New(k)
+	for u := 0; u+1 < k; u++ {
+		g.MustAddEdge(u, u+1)
+	}
+	return &Policy{Name: "G^1_k", K: k, G: g, Dims: []int{k}, Theta: 1}
+}
+
+// DistanceThreshold returns G^θ_{k^d}: the domain is the grid prod(dims) and
+// two values are connected iff their L1 distance is at most theta. With
+// d = 1 this is G^θ_k; with d = 2 and theta = 1 it is the grid graph of the
+// location-privacy example (geo-indistinguishability).
+func DistanceThreshold(dims []int, theta int) (*Policy, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("policy: DistanceThreshold needs at least one dimension")
+	}
+	if theta < 1 {
+		return nil, fmt.Errorf("policy: DistanceThreshold needs theta >= 1, got %d", theta)
+	}
+	k := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("policy: non-positive dimension %d", d)
+		}
+		k *= d
+	}
+	g := graph.New(k)
+	// Enumerate pairs within L1 distance theta by exploring offsets from each
+	// cell; add each edge once (lexicographically larger index only).
+	coords := make([]int, len(dims))
+	for u := 0; u < k; u++ {
+		Unrank(dims, u, coords)
+		addWithinBall(g, dims, coords, u, theta)
+	}
+	name := fmt.Sprintf("G^%d_{k^%d}", theta, len(dims))
+	return &Policy{Name: name, K: k, G: g, Dims: append([]int(nil), dims...), Theta: theta}, nil
+}
+
+// addWithinBall adds edges from u to every cell v > u with L1 distance at
+// most theta, via DFS over dimensions.
+func addWithinBall(g *graph.Graph, dims, base []int, u, theta int) {
+	d := len(dims)
+	cur := make([]int, d)
+	var rec func(dim, remaining int)
+	rec = func(dim, remaining int) {
+		if dim == d {
+			v := Rank(dims, cur)
+			if v > u {
+				g.MustAddEdge(u, v)
+			}
+			return
+		}
+		lo := base[dim] - remaining
+		if lo < 0 {
+			lo = 0
+		}
+		hi := base[dim] + remaining
+		if hi > dims[dim]-1 {
+			hi = dims[dim] - 1
+		}
+		for c := lo; c <= hi; c++ {
+			cur[dim] = c
+			used := c - base[dim]
+			if used < 0 {
+				used = -used
+			}
+			rec(dim+1, remaining-used)
+		}
+	}
+	rec(0, theta)
+}
+
+// Grid returns the θ=1 grid policy G¹_{k²} on a k×k map, the
+// geo-indistinguishability-style policy of the introduction.
+func Grid(k int) *Policy {
+	p, err := DistanceThreshold([]int{k, k}, 1)
+	if err != nil {
+		panic(err) // k, theta validated by construction
+	}
+	p.Name = "G^1_{k^2}"
+	return p
+}
+
+// Rank maps grid coordinates to a domain index (row-major).
+func Rank(dims, coords []int) int {
+	idx := 0
+	for i, d := range dims {
+		idx = idx*d + coords[i]
+	}
+	return idx
+}
+
+// Unrank writes the grid coordinates of index idx into coords.
+func Unrank(dims []int, idx int, coords []int) {
+	for i := len(dims) - 1; i >= 0; i-- {
+		coords[i] = idx % dims[i]
+		idx /= dims[i]
+	}
+}
+
+// L1 returns the L1 distance between two coordinate vectors.
+func L1(a, b []int) int {
+	var s int
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// SensitiveAttributes returns the (generally disconnected) policy of
+// Appendix E for a relational domain prod(dims): two values are adjacent iff
+// they differ in exactly one attribute and that attribute is sensitive.
+// Non-sensitive attribute values are disclosed exactly, which is the point
+// of the policy.
+func SensitiveAttributes(dims []int, sensitive []bool) (*Policy, error) {
+	if len(dims) != len(sensitive) {
+		return nil, fmt.Errorf("policy: SensitiveAttributes: %d dims but %d sensitivity flags", len(dims), len(sensitive))
+	}
+	k := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("policy: non-positive dimension %d", d)
+		}
+		k *= d
+	}
+	g := graph.New(k)
+	coords := make([]int, len(dims))
+	other := make([]int, len(dims))
+	for u := 0; u < k; u++ {
+		Unrank(dims, u, coords)
+		for a, isSensitive := range sensitive {
+			if !isSensitive {
+				continue
+			}
+			copy(other, coords)
+			for val := coords[a] + 1; val < dims[a]; val++ {
+				other[a] = val
+				g.MustAddEdge(u, Rank(dims, other))
+			}
+		}
+	}
+	return &Policy{Name: "sensitive-attrs", K: k, G: g, Dims: append([]int(nil), dims...)}, nil
+}

@@ -1,0 +1,221 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnboundedShape(t *testing.T) {
+	p := Unbounded(5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasBottom || p.Bottom() != 5 {
+		t.Fatal("unbounded policy should have bottom at index k")
+	}
+	if len(p.G.Edges) != 5 {
+		t.Fatalf("edges = %d, want 5", len(p.G.Edges))
+	}
+	for u := 0; u < 5; u++ {
+		if !p.G.HasEdge(u, 5) {
+			t.Fatalf("missing edge (%d, ⊥)", u)
+		}
+	}
+	if !p.G.IsTree() {
+		t.Fatal("star on ⊥ should be a tree")
+	}
+}
+
+func TestBoundedShape(t *testing.T) {
+	p := Bounded(5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.HasBottom || p.Bottom() != -1 {
+		t.Fatal("bounded policy should have no bottom")
+	}
+	if len(p.G.Edges) != 10 {
+		t.Fatalf("edges = %d, want 10", len(p.G.Edges))
+	}
+}
+
+func TestLineShape(t *testing.T) {
+	p := Line(6)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.G.Edges) != 5 || !p.G.IsTree() {
+		t.Fatal("line graph should be a 5-edge tree")
+	}
+	if p.Dist(0, 5) != 5 {
+		t.Fatalf("line distance = %d", p.Dist(0, 5))
+	}
+}
+
+func TestDistanceThreshold1DEdgeCount(t *testing.T) {
+	// G^θ_k has Σ_{i} min(θ, k−1−i) edges.
+	k, theta := 10, 3
+	p, err := DistanceThreshold([]int{k}, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < k; i++ {
+		m := k - 1 - i
+		if m > theta {
+			m = theta
+		}
+		want += m
+	}
+	if len(p.G.Edges) != want {
+		t.Fatalf("edges = %d, want %d", len(p.G.Edges), want)
+	}
+	// Adjacency matches the L1 predicate.
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			want := v-u <= theta
+			if p.G.HasEdge(u, v) != want {
+				t.Fatalf("edge (%d,%d) presence = %v", u, v, !want)
+			}
+		}
+	}
+}
+
+func TestDistanceThresholdGridAdjacency(t *testing.T) {
+	dims := []int{4, 5}
+	theta := 2
+	p, err := DistanceThreshold(dims, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu := make([]int, 2)
+	cv := make([]int, 2)
+	for u := 0; u < p.K; u++ {
+		Unrank(dims, u, cu)
+		for v := u + 1; v < p.K; v++ {
+			Unrank(dims, v, cv)
+			want := L1(cu, cv) <= theta
+			if p.G.HasEdge(u, v) != want {
+				t.Fatalf("edge (%v,%v) presence = %v, want %v", cu, cv, !want, want)
+			}
+		}
+	}
+}
+
+func TestGridPolicy(t *testing.T) {
+	p := Grid(3)
+	if p.K != 9 || len(p.Dims) != 2 {
+		t.Fatal("grid shape wrong")
+	}
+	// 3x3 grid with θ=1: 2·3·2 = 12 edges.
+	if len(p.G.Edges) != 12 {
+		t.Fatalf("edges = %d, want 12", len(p.G.Edges))
+	}
+}
+
+func TestDistanceThresholdValidation(t *testing.T) {
+	if _, err := DistanceThreshold(nil, 1); err == nil {
+		t.Fatal("empty dims accepted")
+	}
+	if _, err := DistanceThreshold([]int{4}, 0); err == nil {
+		t.Fatal("theta 0 accepted")
+	}
+	if _, err := DistanceThreshold([]int{0}, 1); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		dims := make([]int, d)
+		k := 1
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(5)
+			k *= dims[i]
+		}
+		idx := rng.Intn(k)
+		coords := make([]int, d)
+		Unrank(dims, idx, coords)
+		for i := range coords {
+			if coords[i] < 0 || coords[i] >= dims[i] {
+				return false
+			}
+		}
+		return Rank(dims, coords) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSensitiveAttributes(t *testing.T) {
+	// Two attributes: first sensitive, second not. Components should be the
+	// second attribute's values.
+	p, err := SensitiveAttributes([]int{3, 4}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, count := p.G.Components()
+	if count != 4 {
+		t.Fatalf("components = %d, want 4", count)
+	}
+	// Within a component (fixed second attribute) all pairs are adjacent.
+	if !p.G.HasEdge(Rank([]int{3, 4}, []int{0, 1}), Rank([]int{3, 4}, []int{2, 1})) {
+		t.Fatal("same-component pair not adjacent")
+	}
+	// Differing non-sensitive attribute: no edge.
+	if p.G.HasEdge(Rank([]int{3, 4}, []int{0, 1}), Rank([]int{3, 4}, []int{0, 2})) {
+		t.Fatal("non-sensitive change should not be an edge")
+	}
+}
+
+func TestSensitiveAttributesBothSensitive(t *testing.T) {
+	p, err := SensitiveAttributes([]int{2, 2}, []bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Connected() {
+		t.Fatal("fully sensitive attribute policy should be connected")
+	}
+	// Hamming-1 edges only: 4 vertices, 4 edges (a 4-cycle).
+	if len(p.G.Edges) != 4 {
+		t.Fatalf("edges = %d, want 4", len(p.G.Edges))
+	}
+}
+
+func TestSensitiveAttributesValidation(t *testing.T) {
+	if _, err := SensitiveAttributes([]int{2}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestValidateCatchesBadDims(t *testing.T) {
+	p := Line(4)
+	p.Dims = []int{5}
+	if err := p.Validate(); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+}
+
+func TestPolicyMetricMatchesGraphDistance(t *testing.T) {
+	p, err := DistanceThreshold([]int{12}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dist_G(u,v) = ceil(|u−v|/θ) on the 1-D threshold graph.
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			d := u - v
+			if d < 0 {
+				d = -d
+			}
+			want := (d + 2) / 3
+			if got := p.Dist(u, v); got != want {
+				t.Fatalf("dist(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}

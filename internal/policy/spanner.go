@@ -1,0 +1,217 @@
+package policy
+
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/graph"
+)
+
+// Spanner is a policy H together with the stretch ℓ with which it
+// approximates an original policy G: every edge of G is connected in H by a
+// path of length at most Stretch. By Lemma 4.5 (whose proof needs neither a
+// tree nor a subgraph, only bounded-length paths), an (ε, H)-Blowfish
+// mechanism is (ℓ·ε, G)-Blowfish, so mechanisms targeting (ε, G) run on H at
+// ε/ℓ. LineSpanner produces trees; GridSpanner produces a grid over "red"
+// corner vertices with trees hanging off it.
+type Spanner struct {
+	H       *Policy
+	Stretch int
+}
+
+// LineSpanner builds H^θ_k (Section 5.3.1) for the 1-D distance-threshold
+// policy G^θ_k: "red" vertices are placed every theta positions and chained
+// into a path; every other vertex hangs off the nearest red vertex to its
+// right. The result is a tree with k−1 edges and stretch at most 3.
+func LineSpanner(k, theta int) (*Spanner, error) {
+	if theta < 1 || k < 1 {
+		return nil, fmt.Errorf("policy: LineSpanner needs k,theta >= 1, got k=%d theta=%d", k, theta)
+	}
+	g := graph.New(k)
+	// Red vertices: theta−1, 2θ−1, … and always the last vertex, so every
+	// non-red vertex has a red vertex to its right.
+	reds := redPositions(k, theta)
+	isRed := make([]bool, k)
+	for _, r := range reds {
+		isRed[r] = true
+	}
+	for i := 0; i+1 < len(reds); i++ {
+		g.MustAddEdge(reds[i], reds[i+1])
+	}
+	next := nextRed(k, reds)
+	for v := 0; v < k; v++ {
+		if !isRed[v] {
+			g.MustAddEdge(v, next[v])
+		}
+	}
+	tree := &Policy{Name: fmt.Sprintf("H^%d_k", theta), K: k, G: g, Dims: []int{k}, Theta: theta}
+	orig, err := DistanceThreshold([]int{k}, theta)
+	if err != nil {
+		return nil, err
+	}
+	stretch, err := graph.Stretch(orig.G, g)
+	if err != nil {
+		return nil, fmt.Errorf("policy: LineSpanner stretch: %w", err)
+	}
+	return &Spanner{H: tree, Stretch: stretch}, nil
+}
+
+// redPositions returns the sorted red vertex positions for H^θ_k:
+// theta−1, 2θ−1, …, always including k−1.
+func redPositions(k, theta int) []int {
+	var reds []int
+	for r := theta - 1; r < k; r += theta {
+		reds = append(reds, r)
+	}
+	if len(reds) == 0 || reds[len(reds)-1] != k-1 {
+		reds = append(reds, k-1)
+	}
+	return reds
+}
+
+// nextRed returns, per vertex, the smallest red position ≥ the vertex.
+func nextRed(k int, reds []int) []int {
+	next := make([]int, k)
+	ri := 0
+	for v := 0; v < k; v++ {
+		for reds[ri] < v {
+			ri++
+		}
+		next[v] = reds[ri]
+	}
+	return next
+}
+
+// GridSpannerResult is the output of GridSpanner: H^θ_{k^d} (Section 5.3.2)
+// for the distance-threshold policy on a d-dimensional grid. The grid is
+// tiled by hypercubes with edge length max(1, theta/d); the cube corners
+// ("red" vertices) are connected into a coarse grid by external edges, and
+// every interior vertex is attached to its cube's red corner by an internal
+// edge. H is not a tree (the red lattice is a grid), which Lemma 4.5
+// tolerates; the Theorem 5.6 strategy treats external and internal edges
+// separately using the classification returned here.
+type GridSpannerResult struct {
+	Spanner
+	// Red[v] reports whether domain value v is a red (corner) vertex.
+	Red []bool
+	// Cell is the side length of the tiling hypercubes.
+	Cell int
+	// RedDims is the shape of the coarse red lattice; red vertex with lattice
+	// coordinates c sits at domain coordinates min(c*Cell+Cell−1, dim−1).
+	RedDims []int
+}
+
+// GridSpanner constructs H^θ over the dims grid. dims entries must be ≥ 1.
+func GridSpanner(dims []int, theta int) (*GridSpannerResult, error) {
+	d := len(dims)
+	if d == 0 || theta < 1 {
+		return nil, fmt.Errorf("policy: GridSpanner needs dims and theta >= 1")
+	}
+	cell := theta / d
+	if cell < 1 {
+		cell = 1
+	}
+	k := 1
+	for _, dim := range dims {
+		if dim <= 0 {
+			return nil, fmt.Errorf("policy: non-positive dimension %d", dim)
+		}
+		k *= dim
+	}
+	// Red lattice shape: ceil(dim/cell) per dimension.
+	redDims := make([]int, d)
+	for i, dim := range dims {
+		redDims[i] = (dim + cell - 1) / cell
+	}
+	// Map red-lattice coordinates to domain index.
+	redAt := func(rc []int) int {
+		coords := make([]int, d)
+		for i := range rc {
+			c := rc[i]*cell + cell - 1
+			if c > dims[i]-1 {
+				c = dims[i] - 1
+			}
+			coords[i] = c
+		}
+		return Rank(dims, coords)
+	}
+	g := graph.New(k)
+	red := make([]bool, k)
+	nRed := 1
+	for _, rd := range redDims {
+		nRed *= rd
+	}
+	redIndex := make([]int, nRed) // domain index of each red lattice point
+	rc := make([]int, d)
+	for ri := 0; ri < nRed; ri++ {
+		Unrank(redDims, ri, rc)
+		v := redAt(rc)
+		redIndex[ri] = v
+		red[v] = true
+	}
+	// External edges: red lattice neighbors (a G¹ grid over red vertices).
+	for ri := 0; ri < nRed; ri++ {
+		Unrank(redDims, ri, rc)
+		for dim := 0; dim < d; dim++ {
+			if rc[dim]+1 < redDims[dim] {
+				rc[dim]++
+				rj := Rank(redDims, rc)
+				rc[dim]--
+				// Distinct domain vertices (edge clamping can collide only if
+				// a dimension is smaller than one cell, handled by skip).
+				if redIndex[ri] != redIndex[rj] {
+					g.MustAddEdge(redIndex[ri], redIndex[rj])
+				}
+			}
+		}
+	}
+	// Internal edges: every non-red vertex attaches to its cube's red corner.
+	coords := make([]int, d)
+	for v := 0; v < k; v++ {
+		if red[v] {
+			continue
+		}
+		Unrank(dims, v, coords)
+		for i := range coords {
+			rc[i] = coords[i] / cell
+			if rc[i] >= redDims[i] {
+				rc[i] = redDims[i] - 1
+			}
+		}
+		g.MustAddEdge(v, redAt(rc))
+	}
+	h := &Policy{Name: fmt.Sprintf("H^%d_{k^%d}", theta, d), K: k, G: g,
+		Dims: append([]int(nil), dims...), Theta: theta}
+	orig, err := DistanceThreshold(dims, theta)
+	if err != nil {
+		return nil, err
+	}
+	stretch, err := graph.Stretch(orig.G, g)
+	if err != nil {
+		return nil, fmt.Errorf("policy: GridSpanner stretch: %w", err)
+	}
+	return &GridSpannerResult{
+		Spanner: Spanner{H: h, Stretch: stretch},
+		Red:     red,
+		Cell:    cell,
+		RedDims: redDims,
+	}, nil
+}
+
+// BFSSpanner returns a generic spanner for an arbitrary connected policy: a
+// BFS spanning tree with its numerically computed stretch. It is the
+// fallback when no structured spanner (LineSpanner, GridSpanner) applies;
+// the stretch can be large (Section 4.3 shows it must be, e.g. n−1 on a
+// cycle), which Lemma 4.5 converts into a worse ε.
+func BFSSpanner(p *Policy, root int) (*Spanner, error) {
+	t, err := p.G.SpanningTree(root)
+	if err != nil {
+		return nil, err
+	}
+	stretch, err := graph.Stretch(p.G, t)
+	if err != nil {
+		return nil, err
+	}
+	tree := &Policy{Name: p.Name + "-bfs-tree", K: p.K, HasBottom: p.HasBottom, G: t,
+		Dims: append([]int(nil), p.Dims...), Theta: p.Theta}
+	return &Spanner{H: tree, Stretch: stretch}, nil
+}

@@ -1,0 +1,27 @@
+package strategy
+
+import (
+	"math"
+
+	"github.com/privacylab/blowfish/internal/noise"
+)
+
+// GeometricEstimator estimates the transformed database with two-sided
+// geometric (discrete Laplace) noise: P(Z = z) ∝ exp(−ε)^{|z|}. On tree
+// policies the transformed database has integer coordinates with per-
+// coordinate sensitivity 1 (Claim 4.2), so the release is ε-Blowfish and
+// integer valued — counts stay counts, which matters when the release feeds
+// systems that reject fractional cardinalities. The variance,
+// 2·α/(1−α)² with α = e^{−ε}, matches the continuous Laplace 2/ε² as ε→0.
+func GeometricEstimator(xg []float64, eps float64, src *noise.Source) []float64 {
+	out := make([]float64, len(xg))
+	if eps <= 0 {
+		copy(out, xg)
+		return out
+	}
+	alpha := math.Exp(-eps)
+	for i, v := range xg {
+		out[i] = v + float64(src.TwoSidedGeometric(alpha))
+	}
+	return out
+}

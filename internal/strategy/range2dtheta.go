@@ -1,0 +1,233 @@
+package strategy
+
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/core"
+	"github.com/privacylab/blowfish/internal/mech"
+	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+// This file implements the Theorem 5.6 strategy: 2-D range queries under
+// G^θ_{k²} via the spanner H^θ_{k²} of Section 5.3.2. The spanner's edges
+// split into external edges (a coarse grid over the "red" cube-corner
+// lattice) and internal edges (each non-red vertex attached to its cube's
+// red corner). For a rectangle query Q the transformed coefficients are
+//
+//	external edge (Rᵃ, Rᵇ):  1_Q(Rᵃ) − 1_Q(Rᵇ)   — boundary runs over the
+//	                                               red lattice rectangle;
+//	internal edge (v, red(v)): 1_Q(v) − 1_R(v)    — where R is the preimage
+//	                                               rectangle {v : red(v) ∈ Q}.
+//
+// Since R is Q shifted up-left by less than one cube width, 1_Q − 1_R
+// decomposes exactly into four "thin" rectangles, each bounded by the cube
+// side in one dimension (Figure 7d). Thin-in-rows rectangles are served by
+// per-row-band Privelet oracles, thin-in-columns ones by per-column-band
+// oracles; an internal edge participates in one band of each family, so the
+// two families split the internal budget (the paper's ε/d), while external
+// lines are disjoint from everything and use the full budget. All of it runs
+// at ε/stretch per Lemma 4.5.
+
+type thetaGrid2D struct {
+	rows, cols int
+	cell       int
+	redRows    int // lattice height
+	redCols    int // lattice width
+	external   *grid2DStrategy
+	rowBands   []*mech.PriveletKd // band b covers rows [b·cell, …]
+	colBands   []*mech.PriveletKd
+}
+
+func newThetaGrid2D(dims []int, theta int, eps float64, src *noise.Source) (*thetaGrid2D, int, error) {
+	sp, err := policy.GridSpanner(dims, theta)
+	if err != nil {
+		return nil, 0, err
+	}
+	rows, cols := dims[0], dims[1]
+	s := &thetaGrid2D{rows: rows, cols: cols, cell: sp.Cell,
+		redRows: sp.RedDims[0], redCols: sp.RedDims[1]}
+	effEps := eps
+	if eps > 0 {
+		effEps = core.EffectiveEpsilon(eps, sp.Stretch)
+	}
+	// External: disjoint red-lattice lines, full effective budget each.
+	s.external = newGrid2DStrategy(s.redRows, s.redCols, mech.PriveletKind, effEps, src)
+	// Internal: two overlapping band families (rows, columns) sharing the
+	// budget. With cell == 1 every vertex is red and there are no internal
+	// edges at all.
+	if s.cell > 1 {
+		half := effEps / 2
+		for r0 := 0; r0 < rows; r0 += s.cell {
+			h := minInt2(s.cell, rows-r0)
+			s.rowBands = append(s.rowBands, mech.NewPriveletKd([]int{h, cols}, half, src))
+		}
+		for c0 := 0; c0 < cols; c0 += s.cell {
+			w := minInt2(s.cell, cols-c0)
+			s.colBands = append(s.colBands, mech.NewPriveletKd([]int{rows, w}, half, src))
+		}
+	}
+	return s, sp.Stretch, nil
+}
+
+// latticeInterval returns the lattice coordinates [A1, A2] of red positions
+// falling inside the domain interval [lo, hi] in a dimension of extent dim
+// with redDim lattice points; A1 > A2 when empty.
+func latticeInterval(lo, hi, cell, dim, redDim int) (int, int) {
+	a1 := lo / cell // first lattice point with red position ≥ lo
+	a2 := (hi+1)/cell - 1
+	if hi == dim-1 {
+		a2 = redDim - 1 // the clamped last red position sits at dim−1
+	}
+	if a2 > redDim-1 {
+		a2 = redDim - 1
+	}
+	return a1, a2
+}
+
+// preimageInterval returns the domain rows whose cube index lies in the
+// lattice interval [A1, A2].
+func preimageInterval(a1Lat, a2Lat, cell, dim int) (int, int) {
+	lo := a1Lat * cell
+	hi := (a2Lat+1)*cell - 1
+	if hi > dim-1 {
+		hi = dim - 1
+	}
+	return lo, hi
+}
+
+type rect struct{ r1, r2, c1, c2 int }
+
+func (rc rect) empty() bool { return rc.r1 > rc.r2 || rc.c1 > rc.c2 }
+
+// internalPieces decomposes 1_Q − 1_R into signed thin rectangles.
+// thinRows reports which band family should serve the piece.
+type piece struct {
+	rect     rect
+	sign     float64
+	thinRows bool
+}
+
+func (s *thetaGrid2D) internalPieces(q rect) []piece {
+	a1Lat, a2Lat := latticeInterval(q.r1, q.r2, s.cell, s.rows, s.redRows)
+	b1Lat, b2Lat := latticeInterval(q.c1, q.c2, s.cell, s.cols, s.redCols)
+	if a1Lat > a2Lat || b1Lat > b2Lat {
+		// No red vertex inside Q: R is empty and Q itself is thin in every
+		// empty dimension.
+		thinRows := a1Lat > a2Lat
+		return []piece{{rect: q, sign: 1, thinRows: thinRows}}
+	}
+	a1, a2 := preimageInterval(a1Lat, a2Lat, s.cell, s.rows)
+	b1, b2 := preimageInterval(b1Lat, b2Lat, s.cell, s.cols)
+	// Invariants from the construction: a1 ≤ q.r1, a2 ≤ q.r2 (R is shifted
+	// up-left), and the overlap O = [q.r1, a2] × [q.c1, b2] is nonempty.
+	pieces := []piece{
+		{rect: rect{a2 + 1, q.r2, q.c1, q.c2}, sign: +1, thinRows: true}, // Q below O
+		{rect: rect{q.r1, a2, b2 + 1, q.c2}, sign: +1, thinRows: false},  // Q right of O
+		{rect: rect{a1, q.r1 - 1, b1, b2}, sign: -1, thinRows: true},     // R above O
+		{rect: rect{q.r1, a2, b1, q.c1 - 1}, sign: -1, thinRows: false},  // R left of O
+	}
+	out := pieces[:0]
+	for _, p := range pieces {
+		if !p.rect.empty() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// internalNoise sums band-oracle noise for one signed thin rectangle,
+// splitting it at band boundaries (a thin rectangle spans at most two
+// bands).
+func (s *thetaGrid2D) internalNoise(p piece) float64 {
+	var total float64
+	if p.thinRows {
+		for b := p.rect.r1 / s.cell; b*s.cell <= p.rect.r2; b++ {
+			lo := maxInt2(p.rect.r1, b*s.cell)
+			hi := minInt2(p.rect.r2, (b+1)*s.cell-1)
+			if hi > s.rows-1 {
+				hi = s.rows - 1
+			}
+			total += s.rowBands[b].RectNoise(
+				[]int{lo - b*s.cell, p.rect.c1}, []int{hi - b*s.cell, p.rect.c2})
+		}
+	} else {
+		for b := p.rect.c1 / s.cell; b*s.cell <= p.rect.c2; b++ {
+			lo := maxInt2(p.rect.c1, b*s.cell)
+			hi := minInt2(p.rect.c2, (b+1)*s.cell-1)
+			if hi > s.cols-1 {
+				hi = s.cols - 1
+			}
+			total += s.colBands[b].RectNoise(
+				[]int{p.rect.r1, lo - b*s.cell}, []int{p.rect.r2, hi - b*s.cell})
+		}
+	}
+	return p.sign * total
+}
+
+// queryNoise assembles the full transformed-query noise.
+func (s *thetaGrid2D) queryNoise(q rect) float64 {
+	var n float64
+	// External component over the red lattice.
+	a1, a2 := latticeInterval(q.r1, q.r2, s.cell, s.rows, s.redRows)
+	b1, b2 := latticeInterval(q.c1, q.c2, s.cell, s.cols, s.redCols)
+	if a1 <= a2 && b1 <= b2 {
+		n += s.external.queryNoise(a1, a2, b1, b2)
+	}
+	// Internal component.
+	if s.cell > 1 {
+		for _, p := range s.internalPieces(q) {
+			n += s.internalNoise(p)
+		}
+	}
+	return n
+}
+
+// ThetaGridRange2D returns the Theorem 5.6 algorithm for 2-D range queries
+// under G^θ_{k²}.
+func ThetaGridRange2D(dims []int, theta int) Algorithm {
+	return Algorithm{
+		Name: fmt.Sprintf("Transformed + Privelet (theta=%d)", theta),
+		Run: func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error) {
+			if len(dims) != 2 {
+				return nil, fmt.Errorf("strategy: ThetaGridRange2D wants 2-D dims, got %v", dims)
+			}
+			if dims[0]*dims[1] != w.K {
+				return nil, fmt.Errorf("strategy: grid %v != workload domain %d", dims, w.K)
+			}
+			if err := checkDomain(w, x); err != nil {
+				return nil, err
+			}
+			s, _, err := newThetaGrid2D(dims, theta, eps, src)
+			if err != nil {
+				return nil, err
+			}
+			table := workload.SummedAreaTable(dims, x)
+			out := make([]float64, w.Len())
+			for i, q := range w.Queries {
+				rq, ok := q.(workload.RangeKd)
+				if !ok || len(rq.Lo) != 2 {
+					return nil, fmt.Errorf("strategy: ThetaGridRange2D wants 2-D RangeKd queries, got %T", q)
+				}
+				out[i] = workload.EvalRangeKd(dims, table, rq) +
+					s.queryNoise(rect{rq.Lo[0], rq.Hi[0], rq.Lo[1], rq.Hi[1]})
+			}
+			return out, nil
+		},
+	}
+}
+
+func minInt2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

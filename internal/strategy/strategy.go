@@ -1,0 +1,250 @@
+// Package strategy implements the Blowfish-private algorithms of Section 5
+// and the standard differentially private baselines they are compared
+// against in Section 6. Tree policies (the line graph G¹_k and the spanners
+// H^θ) go through the exact all-mechanism equivalence of Theorem 4.3: run
+// any DP estimator on the transformed database x_G and recombine. Non-tree
+// policies (the grid G¹_{k²}, G^θ_{k^d}) go through matrix-mechanism-style
+// strategies (Theorem 4.1): noisy interval answers over the edge domain with
+// noise calibrated to per-edge participation, reconstructed per query.
+package strategy
+
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/core"
+	"github.com/privacylab/blowfish/internal/mech"
+	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+// Algorithm is a named mechanism that answers a workload on a histogram
+// database with privacy budget eps. Every experiment in internal/eval runs a
+// list of Algorithms side by side. The convention eps <= 0 means "no noise";
+// tests use it to check that every algorithm is exact modulo its noise.
+type Algorithm struct {
+	Name string
+	Run  func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error)
+}
+
+// Estimator produces a private estimate of a transformed database vector
+// under unbounded differential privacy (one coordinate changing by ±1).
+type Estimator func(xg []float64, eps float64, src *noise.Source) []float64
+
+// LaplaceEstimator estimates the vector by per-coordinate Laplace noise with
+// sensitivity 1 — the "Transformed + Laplace" strategy of Section 6.
+func LaplaceEstimator(xg []float64, eps float64, src *noise.Source) []float64 {
+	return mech.LaplaceVector(xg, 1, eps, src)
+}
+
+// ConsistentLaplaceEstimator adds Laplace noise and projects back onto
+// non-decreasing vectors ("Transformed + ConsistentEst", §5.4.2). It is only
+// meaningful when x_G is non-decreasing by construction, i.e. when the tree
+// is a path rooted at one end so x_G is the prefix-sum vector.
+func ConsistentLaplaceEstimator(xg []float64, eps float64, src *noise.Source) []float64 {
+	return mech.IsotonicNonDecreasing(mech.LaplaceVector(xg, 1, eps, src))
+}
+
+// DawaEstimator estimates the vector with the data-dependent DAWA mechanism
+// ("Trans + Dawa").
+func DawaEstimator(xg []float64, eps float64, src *noise.Source) []float64 {
+	return mech.NewDAWA(xg, eps, mech.DefaultPartitionRatio, src).Histogram()
+}
+
+// DawaConsistentEstimator runs DAWA then the non-decreasing projection
+// ("Trans + Dawa + Cons").
+func DawaConsistentEstimator(xg []float64, eps float64, src *noise.Source) []float64 {
+	return mech.IsotonicNonDecreasing(DawaEstimator(xg, eps, src))
+}
+
+// TreePolicy answers any linear workload under a tree policy via
+// Theorem 4.3: compute x_G exactly (O(k) subtree sums), estimate it with the
+// given DP estimator at budget eps/stretch (Lemma 4.5 accounting; stretch is
+// 1 when the tree is the policy itself), and evaluate each transformed query
+// against the estimate plus the Lemma 4.10 constant correction.
+func TreePolicy(name string, tr *core.Transform, stretch int, est Estimator) Algorithm {
+	return Algorithm{
+		Name: name,
+		Run: func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error) {
+			if !tr.IsTree() {
+				return nil, fmt.Errorf("strategy: %s: policy %q is not a tree", name, tr.Policy.Name)
+			}
+			if w.K != tr.Policy.K {
+				return nil, fmt.Errorf("strategy: %s: workload domain %d != policy domain %d", name, w.K, tr.Policy.K)
+			}
+			if err := checkDomain(w, x); err != nil {
+				return nil, err
+			}
+			xg, err := tr.DatabaseTransform(x)
+			if err != nil {
+				return nil, err
+			}
+			effEps := eps
+			if eps > 0 {
+				effEps = core.EffectiveEpsilon(eps, stretch)
+			}
+			xge := est(xg, effEps, src)
+			n := sum(x)
+			sup := newSupportIndex(tr)
+			out := make([]float64, w.Len())
+			for i, q := range w.Queries {
+				v := tr.ConstantCorrection(q, n)
+				for _, j := range sup.edges(q) {
+					e := tr.Policy.G.Edges[j]
+					if c := tr.QueryCoeffOnEdge(q, e); c != 0 {
+						v += c * xge[j]
+					}
+				}
+				out[i] = v
+			}
+			return out, nil
+		},
+	}
+}
+
+// supportIndex narrows the edges that can carry nonzero transformed
+// coefficients for a query. For 1-D policies whose edges span at most Theta
+// positions (the line graph and the H^θ spanners), a range query's support
+// edges all touch a vertex within Theta of the range boundary; for anything
+// else it falls back to scanning every edge.
+type supportIndex struct {
+	tr       *core.Transform
+	all      []int
+	incident [][]int // vertex -> incident edge indices
+	theta    int
+	scratch  []int
+	stamp    []int
+	round    int
+}
+
+func newSupportIndex(tr *core.Transform) *supportIndex {
+	s := &supportIndex{tr: tr}
+	p := tr.Policy
+	if len(p.Dims) == 1 && p.Theta >= 1 && !p.HasBottom {
+		s.theta = p.Theta
+		s.incident = make([][]int, p.G.N)
+		for v := 0; v < p.G.N; v++ {
+			v := v
+			p.G.Neighbors(v, func(_, edge int) {
+				s.incident[v] = append(s.incident[v], edge)
+			})
+		}
+		s.stamp = make([]int, len(p.G.Edges))
+		for i := range s.stamp {
+			s.stamp[i] = -1
+		}
+		return s
+	}
+	s.all = make([]int, len(p.G.Edges))
+	for i := range s.all {
+		s.all[i] = i
+	}
+	return s
+}
+
+// edges returns candidate edge indices for q (a superset of the support).
+func (s *supportIndex) edges(q workload.Query) []int {
+	if s.incident == nil {
+		return s.all
+	}
+	l, r, ok := queryBounds(q)
+	if !ok {
+		return allEdges(s)
+	}
+	s.round++
+	s.scratch = s.scratch[:0]
+	k := s.tr.Policy.K
+	add := func(v int) {
+		if v < 0 || v >= k {
+			return
+		}
+		for _, e := range s.incident[v] {
+			if s.stamp[e] != s.round {
+				s.stamp[e] = s.round
+				s.scratch = append(s.scratch, e)
+			}
+		}
+	}
+	for v := l - s.theta; v <= l+s.theta; v++ {
+		add(v)
+	}
+	for v := r - s.theta; v <= r+s.theta; v++ {
+		add(v)
+	}
+	return s.scratch
+}
+
+func allEdges(s *supportIndex) []int {
+	if s.all == nil {
+		s.all = make([]int, len(s.tr.Policy.G.Edges))
+		for i := range s.all {
+			s.all[i] = i
+		}
+	}
+	return s.all
+}
+
+// queryBounds extracts inclusive 1-D range bounds from the structured query
+// types.
+func queryBounds(q workload.Query) (int, int, bool) {
+	switch t := q.(type) {
+	case workload.Point:
+		return int(t), int(t), true
+	case workload.Prefix:
+		return 0, int(t), true
+	case workload.Range1D:
+		return t.L, t.R, true
+	}
+	return 0, 0, false
+}
+
+// LinePolicyAlgorithms returns the Blowfish algorithms compared in the
+// G¹_k experiments (Figures 8–9: Hist and 1D-Range): the transformed
+// database is the prefix-sum vector, which is non-decreasing, so both
+// consistency variants apply.
+func LinePolicyAlgorithms(k int) ([]Algorithm, error) {
+	tr, err := core.New(policy.Line(k))
+	if err != nil {
+		return nil, err
+	}
+	return []Algorithm{
+		TreePolicy("Transformed + Laplace", tr, 1, LaplaceEstimator),
+		TreePolicy("Transformed + ConsistentEst", tr, 1, ConsistentLaplaceEstimator),
+		TreePolicy("Trans + Dawa + Cons", tr, 1, DawaConsistentEstimator),
+	}, nil
+}
+
+// ThetaLineAlgorithms returns the Blowfish algorithms for the G^θ_k
+// experiments (Figure 8d/h): the spanner H^θ_k replaces the policy at
+// ε/stretch, and x_G is no longer monotone so only the plain and DAWA
+// estimators apply.
+func ThetaLineAlgorithms(k, theta int) ([]Algorithm, error) {
+	sp, err := policy.LineSpanner(k, theta)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.New(sp.H)
+	if err != nil {
+		return nil, err
+	}
+	return []Algorithm{
+		TreePolicy("Transformed + Laplace", tr, sp.Stretch, LaplaceEstimator),
+		TreePolicy("Trans + Dawa", tr, sp.Stretch, DawaEstimator),
+	}, nil
+}
+
+// checkDomain validates that the database matches the workload's domain.
+func checkDomain(w *workload.Workload, x []float64) error {
+	if len(x) != w.K {
+		return fmt.Errorf("strategy: database size %d != workload domain %d", len(x), w.K)
+	}
+	return nil
+}
+
+func sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"fmt"
+)
+
+// Marginals returns the marginal workload over the attribute subset keep of
+// a multidimensional domain: one counting query per combination of values of
+// the kept attributes, summing over all values of the others. Each query is
+// a full-extent RangeKd, so every range strategy (and the generic tree
+// machinery) answers marginals directly. The paper's Section 6 preamble
+// lists marginal workloads alongside range queries as the evaluation
+// targets.
+func Marginals(dims []int, keep []bool) (*Workload, error) {
+	if len(dims) != len(keep) {
+		return nil, fmt.Errorf("workload: Marginals: %d dims but %d keep flags", len(dims), len(keep))
+	}
+	k := 1
+	cells := 1
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("workload: non-positive dimension %d", d)
+		}
+		k *= d
+		if keep[i] {
+			cells *= d
+		}
+	}
+	w := &Workload{Name: "Marginal", K: k}
+	// Enumerate value combinations of the kept attributes.
+	cur := make([]int, len(dims))
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == len(dims) {
+			lo := make([]int, len(dims))
+			hi := make([]int, len(dims))
+			for i := range dims {
+				if keep[i] {
+					lo[i], hi[i] = cur[i], cur[i]
+				} else {
+					lo[i], hi[i] = 0, dims[i]-1
+				}
+			}
+			w.Queries = append(w.Queries, RangeKd{
+				Dims: append([]int(nil), dims...), Lo: lo, Hi: hi})
+			return
+		}
+		if !keep[dim] {
+			rec(dim + 1)
+			return
+		}
+		for v := 0; v < dims[dim]; v++ {
+			cur[dim] = v
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	if w.Len() != cells {
+		return nil, fmt.Errorf("workload: Marginals produced %d queries, want %d", w.Len(), cells)
+	}
+	return w, nil
+}
+
+// AllOneWayMarginals returns the concatenation of every single-attribute
+// marginal of the domain.
+func AllOneWayMarginals(dims []int) (*Workload, error) {
+	k := 1
+	for _, d := range dims {
+		k *= d
+	}
+	w := &Workload{Name: "1-way marginals", K: k}
+	keep := make([]bool, len(dims))
+	for i := range dims {
+		for t := range keep {
+			keep[t] = t == i
+		}
+		m, err := Marginals(dims, keep)
+		if err != nil {
+			return nil, err
+		}
+		w.Queries = append(w.Queries, m.Queries...)
+	}
+	return w, nil
+}
+
+// TotalQuery returns the single query counting the whole database; under
+// bounded policies it is answered exactly (the database size is public).
+func TotalQuery(k int) *Workload {
+	return &Workload{Name: "Total", K: k, Queries: []Query{Range1D{L: 0, R: k - 1}}}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMarginalsShape(t *testing.T) {
+	dims := []int{3, 4, 2}
+	m, err := Marginals(dims, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 6 {
+		t.Fatalf("marginal cells = %d, want 6", m.Len())
+	}
+	if m.K != 24 {
+		t.Fatalf("domain = %d", m.K)
+	}
+}
+
+func TestMarginalsSumToTotal(t *testing.T) {
+	// Every marginal's cells sum to the database total.
+	rng := rand.New(rand.NewSource(1))
+	dims := []int{4, 3}
+	x := randomX(rng, 12)
+	var total float64
+	for _, v := range x {
+		total += v
+	}
+	for _, keep := range [][]bool{{true, false}, {false, true}, {true, true}} {
+		m, err := Marginals(dims, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, a := range m.Answers(x) {
+			s += a
+		}
+		if math.Abs(s-total) > 1e-9 {
+			t.Fatalf("keep=%v: marginal sums to %g, total %g", keep, s, total)
+		}
+	}
+}
+
+func TestMarginalsAgainstDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dims := []int{3, 4}
+	x := randomX(rng, 12)
+	m, err := Marginals(dims, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Answers(x)
+	for c := 0; c < 4; c++ {
+		var want float64
+		for r := 0; r < 3; r++ {
+			want += x[r*4+c]
+		}
+		if math.Abs(got[c]-want) > 1e-9 {
+			t.Fatalf("column marginal %d = %g, want %g", c, got[c], want)
+		}
+	}
+}
+
+func TestMarginalsKeepAllIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dims := []int{2, 3}
+	x := randomX(rng, 6)
+	m, err := Marginals(dims, []bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Answers(x)
+	if len(got) != 6 {
+		t.Fatal("full marginal should have one query per cell")
+	}
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("cell %d mismatch", i)
+		}
+	}
+}
+
+func TestMarginalsKeepNoneIsTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dims := []int{2, 3}
+	x := randomX(rng, 6)
+	m, err := Marginals(dims, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("empty marginal should be one total query, got %d", m.Len())
+	}
+	var total float64
+	for _, v := range x {
+		total += v
+	}
+	if m.Answers(x)[0] != total {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestMarginalsValidation(t *testing.T) {
+	if _, err := Marginals([]int{2}, []bool{true, true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Marginals([]int{0}, []bool{true}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+}
+
+func TestAllOneWayMarginals(t *testing.T) {
+	dims := []int{3, 4}
+	w, err := AllOneWayMarginals(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 7 {
+		t.Fatalf("one-way marginals = %d queries, want 7", w.Len())
+	}
+}
+
+func TestTotalQuery(t *testing.T) {
+	w := TotalQuery(5)
+	x := []float64{1, 2, 3, 4, 5}
+	if w.Answers(x)[0] != 15 {
+		t.Fatal("total wrong")
+	}
+	// Under any bounded policy the total has zero policy sensitivity.
+	if w.Len() != 1 {
+		t.Fatal("one query expected")
+	}
+}

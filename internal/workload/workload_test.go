@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/privacylab/blowfish/internal/noise"
+)
+
+func randomX(rng *rand.Rand, k int) []float64 {
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = float64(rng.Intn(30))
+	}
+	return x
+}
+
+func TestIdentityWorkload(t *testing.T) {
+	w := Identity(4)
+	x := []float64{5, 6, 7, 8}
+	got := w.Answers(x)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("identity answers %v", got)
+		}
+	}
+	if w.Sensitivity() != 1 {
+		t.Fatalf("Δ(I_k) = %g", w.Sensitivity())
+	}
+}
+
+func TestCumulativeWorkload(t *testing.T) {
+	w := Cumulative(4)
+	x := []float64{1, 2, 3, 4}
+	got := w.Answers(x)
+	want := []float64{1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cumulative answers %v", got)
+		}
+	}
+	// Example 2.2: Δ(C_k) = k.
+	if w.Sensitivity() != 4 {
+		t.Fatalf("Δ(C_k) = %g", w.Sensitivity())
+	}
+}
+
+func TestAllRanges1DCount(t *testing.T) {
+	k := 7
+	w := AllRanges1D(k)
+	if w.Len() != k*(k+1)/2 {
+		t.Fatalf("|R_k| = %d, want %d", w.Len(), k*(k+1)/2)
+	}
+}
+
+func TestRange1DEvalMatchesCoeff(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k := 12
+	x := randomX(rng, k)
+	w := AllRanges1D(k)
+	for _, q := range w.Queries {
+		var viaCoeff float64
+		for i := 0; i < k; i++ {
+			viaCoeff += q.Coeff(i) * x[i]
+		}
+		if math.Abs(q.Eval(x)-viaCoeff) > 1e-9 {
+			t.Fatalf("Eval != Coeff·x for %v", q)
+		}
+	}
+}
+
+func TestPrefixSumsAndEvalRange(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	p := PrefixSums(x)
+	if p[4] != 15 || p[0] != 1 {
+		t.Fatalf("prefix sums %v", p)
+	}
+	if EvalRange1D(p, Range1D{L: 1, R: 3}) != 9 {
+		t.Fatal("EvalRange1D wrong")
+	}
+	if EvalRange1D(p, Range1D{L: 0, R: 0}) != 1 {
+		t.Fatal("EvalRange1D at origin wrong")
+	}
+}
+
+func TestRandomRanges1DBounds(t *testing.T) {
+	src := noise.NewSource(2)
+	w := RandomRanges1D(20, 500, src)
+	if w.Len() != 500 {
+		t.Fatal("wrong count")
+	}
+	for _, q := range w.Queries {
+		r := q.(Range1D)
+		if r.L < 0 || r.R >= 20 || r.L > r.R {
+			t.Fatalf("bad range %v", r)
+		}
+	}
+}
+
+func TestRangeKdEvalMatchesCoeff(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dims := []int{3, 4}
+	x := randomX(rng, 12)
+	w := AllRangesKd(dims)
+	// |R| = (3·4/2)·(4·5/2) = 60.
+	if w.Len() != 60 {
+		t.Fatalf("|R_{3x4}| = %d", w.Len())
+	}
+	for _, q := range w.Queries {
+		var viaCoeff float64
+		for i := 0; i < 12; i++ {
+			viaCoeff += q.Coeff(i) * x[i]
+		}
+		if math.Abs(q.Eval(x)-viaCoeff) > 1e-9 {
+			t.Fatalf("Kd Eval != Coeff·x")
+		}
+	}
+}
+
+func TestSummedAreaTable2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dims := []int{5, 6}
+	x := randomX(rng, 30)
+	table := SummedAreaTable(dims, x)
+	w := AllRangesKd(dims)
+	for _, q := range w.Queries {
+		r := q.(RangeKd)
+		got := EvalRangeKd(dims, table, r)
+		want := r.Eval(x)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("SAT mismatch for %v: %g vs %g", r, got, want)
+		}
+	}
+}
+
+func TestSummedAreaTable3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dims := []int{3, 3, 3}
+	x := randomX(rng, 27)
+	table := SummedAreaTable(dims, x)
+	q := RangeKd{Dims: dims, Lo: []int{0, 1, 1}, Hi: []int{2, 2, 1}}
+	if math.Abs(EvalRangeKd(dims, table, q)-q.Eval(x)) > 1e-9 {
+		t.Fatal("3-D SAT mismatch")
+	}
+}
+
+func TestQuickSummedAreaTable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{1 + rng.Intn(6), 1 + rng.Intn(6)}
+		k := dims[0] * dims[1]
+		x := randomX(rng, k)
+		table := SummedAreaTable(dims, x)
+		lo := []int{rng.Intn(dims[0]), rng.Intn(dims[1])}
+		hi := []int{lo[0] + rng.Intn(dims[0]-lo[0]), lo[1] + rng.Intn(dims[1]-lo[1])}
+		q := RangeKd{Dims: dims, Lo: lo, Hi: hi}
+		return math.Abs(EvalRangeKd(dims, table, q)-q.Eval(x)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToMatrixMatchesAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	k := 8
+	x := randomX(rng, k)
+	w := AllRanges1D(k)
+	m := w.ToMatrix()
+	ans := w.Answers(x)
+	for i := 0; i < w.Len(); i++ {
+		var got float64
+		for j := 0; j < k; j++ {
+			got += m.At(i, j) * x[j]
+		}
+		if math.Abs(got-ans[i]) > 1e-9 {
+			t.Fatal("ToMatrix mismatch")
+		}
+	}
+}
+
+func TestSensitivityRangeWorkload(t *testing.T) {
+	// For R_k, the middle column is in the most ranges:
+	// Δ = max_i (i+1)(k−i).
+	k := 9
+	w := AllRanges1D(k)
+	var want float64
+	for i := 0; i < k; i++ {
+		if v := float64((i + 1) * (k - i)); v > want {
+			want = v
+		}
+	}
+	if got := w.Sensitivity(); got != want {
+		t.Fatalf("Δ(R_k) = %g, want %g", got, want)
+	}
+}
+
+func TestDenseQuery(t *testing.T) {
+	q := Dense([]float64{0.5, -1, 2})
+	x := []float64{2, 3, 4}
+	if q.Eval(x) != 0.5*2-3+8 {
+		t.Fatal("Dense Eval wrong")
+	}
+	if q.Coeff(1) != -1 {
+		t.Fatal("Dense Coeff wrong")
+	}
+}
+
+func TestAnswersSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch should panic")
+		}
+	}()
+	Identity(4).Answers(make([]float64, 3))
+}
