@@ -1,0 +1,30 @@
+# Mirrors .github/workflows/ci.yml: `make lint build test bench` is exactly
+# what CI runs.
+
+GO ?= go
+BENCH_JSON ?= BENCH_eval.json
+
+.PHONY: all build test bench lint clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Benchmarks: a 1-iteration smoke pass over every Benchmark* (so they cannot
+# bit-rot), then the experiment driver writing the machine-readable report
+# used for the perf trajectory.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+	$(GO) run ./cmd/blowfishbench -exp table1,fig3,fig10a,fig10b -json $(BENCH_JSON)
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+clean:
+	rm -f BENCH_*.json

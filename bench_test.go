@@ -339,6 +339,108 @@ func BenchmarkGridKd3D(b *testing.B) {
 	b.ReportMetric(mse, "mse")
 }
 
+// BenchmarkMul measures the dense product kernel serially and on the
+// parallel row-blocked path; the headline parallel win of the multicore
+// refactor (≥ 2× expected at GOMAXPROCS ≥ 4).
+func BenchmarkMul(b *testing.B) {
+	const n = 384
+	src := noise.NewSource(6)
+	a := linalg.New(n, n)
+	c := linalg.New(n, n)
+	for i := range a.Data {
+		a.Data[i] = src.NormFloat64()
+		c.Data[i] = src.NormFloat64()
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			prev := linalg.SetParallelism(tc.workers)
+			defer linalg.SetParallelism(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				linalg.Mul(a, c)
+			}
+		})
+	}
+}
+
+// BenchmarkGram measures the symmetric AᵀA kernel (half the flops of Mul)
+// serially and in parallel; it is the hot step of PseudoInverseTall and the
+// SVD lower bounds.
+func BenchmarkGram(b *testing.B) {
+	const n = 384
+	src := noise.NewSource(7)
+	a := linalg.New(n, n)
+	for i := range a.Data {
+		a.Data[i] = src.NormFloat64()
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			prev := linalg.SetParallelism(tc.workers)
+			defer linalg.SetParallelism(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				linalg.Gram(a)
+			}
+		})
+	}
+}
+
+// BenchmarkRange2DParallelism runs the heaviest Section 6 experiment at
+// Parallelism 1 and at one-worker-per-CPU; the ratio of the two timings is
+// the end-to-end speedup of the experiment scheduler.
+func BenchmarkRange2DParallelism(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Queries = 200
+			opts.Parallelism = tc.workers
+			prev := linalg.SetParallelism(tc.workers)
+			defer linalg.SetParallelism(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Range2DExperiment(0.1, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Parallelism sweeps the Figure 10a SVD bounds — pure
+// eigensolver work — serially and in parallel.
+func BenchmarkFig10Parallelism(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			o := eval.QuickFig10()
+			o.Parallelism = tc.workers
+			prev := linalg.SetParallelism(tc.workers)
+			defer linalg.SetParallelism(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.SVD1DExperiment(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDAWA4096 measures a full DAWA run at the paper's domain size.
 func BenchmarkDAWA4096(b *testing.B) {
 	src := noise.NewSource(4)

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/privacylab/blowfish/internal/eval"
@@ -39,7 +43,7 @@ func TestPanelFor(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", eval.Quick(), false); err == nil {
+	if _, err := run("nope", eval.Quick(), false, io.Discard); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }
@@ -47,14 +51,76 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunTable1(t *testing.T) {
 	opts := eval.Quick()
 	opts.Runs = 1
-	if err := run("table1", opts, false); err != nil {
+	tabs, err := run("table1", opts, false, io.Discard)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(tabs) != 1 {
+		t.Fatalf("table1 produced %d tables", len(tabs))
 	}
 }
 
 func TestRunSinglePanel(t *testing.T) {
 	opts := eval.Options{Runs: 1, Queries: 50, Seed: 1, DomainScale: 64}
-	if err := run("fig8f", opts, false); err != nil {
+	tabs, err := run("fig8f", opts, false, io.Discard)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(tabs) != 1 {
+		t.Fatalf("fig8f produced %d tables", len(tabs))
+	}
+}
+
+// TestRunParallelSettingMatchesSerial is the CLI-level determinism check for
+// the -parallel flag.
+func TestRunParallelSettingMatchesSerial(t *testing.T) {
+	opts := eval.Options{Runs: 2, Queries: 60, Seed: 3, DomainScale: 64}
+	serialOpts := opts
+	serialOpts.Parallelism = 1
+	serial, err := run("fig8f", serialOpts, false, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := opts
+	parOpts.Parallelism = 6
+	parallel, err := run("fig8f", parOpts, false, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial[0].String() != parallel[0].String() {
+		t.Fatalf("-parallel changed results:\n%s\nvs\n%s", serial[0], parallel[0])
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	opts := eval.Quick()
+	opts.Runs = 1
+	tabs, err := run("table1", opts, false, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_eval.json")
+	report := &benchReport{Schema: "blowfishbench/v1", Seed: 1,
+		Experiments: []benchRecord{{ID: "table1", Seconds: 0.5, Tables: tabs}}}
+	if err := writeReport(path, report); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Schema      string `json:"schema"`
+		Experiments []struct {
+			ID     string            `json:"id"`
+			Tables []json.RawMessage `json:"tables"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Schema != "blowfishbench/v1" || len(back.Experiments) != 1 ||
+		back.Experiments[0].ID != "table1" || len(back.Experiments[0].Tables) != 1 {
+		t.Fatalf("report round-trip mismatch: %+v", back)
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/privacylab/blowfish
+
+go 1.24

@@ -13,6 +13,7 @@ import (
 
 	"github.com/privacylab/blowfish/internal/graph"
 	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/policy"
 	"github.com/privacylab/blowfish/internal/workload"
 )
@@ -195,15 +196,18 @@ func (t *Transform) ReducedDatabase(x []float64) []float64 {
 }
 
 // TransformWorkload materializes the dense transformed workload
-// W_G = W·P_G (one row per query, one column per edge).
+// W_G = W·P_G (one row per query, one column per edge). Query rows are
+// independent, so they fan out over the linalg worker setting; the result is
+// identical at every parallelism level.
 func (t *Transform) TransformWorkload(w *workload.Workload) *linalg.Matrix {
 	m := linalg.New(w.Len(), t.NumEdges())
-	for i, q := range w.Queries {
+	par.Do(par.Workers(linalg.Parallelism()), w.Len(), func(i int) {
+		q := w.Queries[i]
 		row := m.Row(i)
 		for j, e := range t.Policy.G.Edges {
 			row[j] = t.QueryCoeffOnEdge(q, e)
 		}
-	}
+	})
 	return m
 }
 

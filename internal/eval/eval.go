@@ -30,6 +30,11 @@ type Options struct {
 	// DomainScale divides 1-D domain sizes (4096 in the paper) to keep test
 	// and benchmark runtime sane; 1 reproduces the paper's sizes.
 	DomainScale int
+	// Parallelism caps the experiment worker pool: 1 runs serially on the
+	// calling goroutine, n > 1 uses n workers, and <= 0 (the default) uses
+	// one worker per available CPU. Tables are bitwise identical at every
+	// setting — all noise streams are pre-split in a fixed serial order.
+	Parallelism int
 }
 
 // Defaults returns paper-scale options.
@@ -51,6 +56,9 @@ func (o Options) normalize() Options {
 	}
 	if o.DomainScale < 1 {
 		o.DomainScale = 1
+	}
+	if o.Parallelism < 0 {
+		o.Parallelism = 0
 	}
 	return o
 }

@@ -26,27 +26,26 @@ func runContenders(title, metric string, cons []contender, rows []string,
 	for _, c := range cons {
 		t.Columns = append(t.Columns, c.alg.Name)
 	}
+	// Build phase (serial): materialize row data and split every noise
+	// stream in the fixed row-major order the serial path used.
 	src := noise.NewSource(opts.Seed)
+	g := newGrid(len(rows), len(cons), opts)
 	for ri, label := range rows {
 		w, x, err := data(ri)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s row %s: %w", title, label, err)
 		}
-		cells := make([]float64, len(cons))
+		truth := w.Answers(x)
 		for ci, c := range cons {
-			e := eps
-			if c.half {
-				e = eps / 2
-			}
-			mse, err := MeasureMSE(c.alg, w, x, e, opts.Runs, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			cells[ci] = mse
+			g.addContender(ri, ci, c, w, x, truth, eps, src.Split())
 		}
-		t.Rows = append(t.Rows, label)
-		t.Cells = append(t.Cells, cells)
 	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	t.Cells = cells
 	return t, nil
 }
 
@@ -161,6 +160,7 @@ func Range1DG4Experiment(eps float64, opts Options) (*Table, error) {
 	for _, a := range firstBlow {
 		t.Columns = append(t.Columns, a.Name)
 	}
+	g := newGrid(len(ks), len(cons)+len(firstBlow), opts)
 	for ri, k := range ks {
 		w := workload.RandomRanges1D(k, opts.Queries, src.Split())
 		blow, err := strategy.ThetaLineAlgorithms(k, theta)
@@ -171,21 +171,17 @@ func Range1DG4Experiment(eps float64, opts Options) (*Table, error) {
 		for _, a := range blow {
 			all = append(all, contender{alg: a})
 		}
-		cells := make([]float64, len(all))
+		truth := w.Answers(data[ri])
 		for ci, c := range all {
-			e := eps
-			if c.half {
-				e = eps / 2
-			}
-			mse, err := MeasureMSE(c.alg, w, data[ri], e, opts.Runs, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			cells[ci] = mse
+			g.addContender(ri, ci, c, w, data[ri], truth, eps, src.Split())
 		}
-		t.Rows = append(t.Rows, rows[ri])
-		t.Cells = append(t.Cells, cells)
 	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	t.Cells = cells
 	return t, nil
 }
 
@@ -200,8 +196,9 @@ func Range2DExperiment(eps float64, opts Options) (*Table, error) {
 		Metric: "avg squared error per query",
 	}
 	specs := []string{"T25", "T50", "T100"}
+	g := newGrid(len(specs), 0, opts)
 	first := true
-	for _, name := range specs {
+	for ri, name := range specs {
 		spec, err := dataset.ByName(name)
 		if err != nil {
 			return nil, err
@@ -220,21 +217,17 @@ func Range2DExperiment(eps float64, opts Options) (*Table, error) {
 			}
 			first = false
 		}
-		cells := make([]float64, len(cons))
+		truth := w.Answers(x)
 		for ci, c := range cons {
-			e := eps
-			if c.half {
-				e = eps / 2
-			}
-			mse, err := MeasureMSE(c.alg, w, x, e, opts.Runs, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			cells[ci] = mse
+			g.addContender(ri, ci, c, w, x, truth, eps, src.Split())
 		}
 		t.Rows = append(t.Rows, name)
-		t.Cells = append(t.Cells, cells)
 	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	t.Cells = cells
 	return t, nil
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/privacylab/blowfish/internal/linalg"
 	"github.com/privacylab/blowfish/internal/lowerbound"
+	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/policy"
 )
 
@@ -23,6 +25,10 @@ type Fig10Options struct {
 	// IncludeBounded adds the bounded-DP (complete graph) series of 10b;
 	// its edge count is quadratic, so it dominates runtime.
 	IncludeBounded bool
+	// Parallelism caps the worker pool fanning the (domain × series) bound
+	// computations out; the bounds are deterministic, so any setting yields
+	// the same table (see Options.Parallelism for the conventions).
+	Parallelism int
 }
 
 // DefaultFig10 returns paper-parameter options with sweep sizes that run in
@@ -50,6 +56,29 @@ func QuickFig10() Fig10Options {
 	}
 }
 
+// runBoundGrid fans a rows×cols grid of independent lower-bound computations
+// out over a worker pool. Each unit computes exactly one cell, so the filled
+// table is identical at every parallelism level.
+func runBoundGrid(rows, cols, parallelism int, bound func(ri, ci int) (float64, error)) ([][]float64, error) {
+	cells := make([][]float64, rows)
+	for i := range cells {
+		cells[i] = make([]float64, cols)
+	}
+	err := par.DoErr(par.Workers(parallelism), rows*cols, func(u int) error {
+		ri, ci := u/cols, u%cols
+		v, err := bound(ri, ci)
+		if err != nil {
+			return err
+		}
+		cells[ri][ci] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
 // SVD1DExperiment reproduces Figure 10a: the Corollary A.2 lower bound for
 // the all-ranges workload R_k under unbounded DP and under G^θ_k for each θ,
 // as the domain size grows.
@@ -62,32 +91,34 @@ func SVD1DExperiment(o Fig10Options) (*Table, error) {
 	for _, th := range o.Thetas1D {
 		t.Columns = append(t.Columns, fmt.Sprintf("Theta=%d", th))
 	}
-	for _, k := range o.Domains1D {
-		gram := lowerbound.RangeGram1D(k)
-		cells := make([]float64, 0, len(t.Columns))
-		dp, err := lowerbound.SVDBoundDPFromGram(gram, o.Eps, o.Delta)
+	workers := par.Workers(o.Parallelism)
+	// The Gram matrix of each domain size is shared by its whole row.
+	grams := make([]*linalg.Matrix, len(o.Domains1D))
+	par.Do(workers, len(grams), func(ri int) {
+		grams[ri] = lowerbound.RangeGram1D(o.Domains1D[ri])
+	})
+	cells, err := runBoundGrid(len(o.Domains1D), len(t.Columns), o.Parallelism, func(ri, ci int) (float64, error) {
+		k := o.Domains1D[ri]
+		if ci == 0 {
+			return lowerbound.SVDBoundDPFromGram(grams[ri], o.Eps, o.Delta)
+		}
+		th := o.Thetas1D[ci-1]
+		if th >= k {
+			return math.NaN(), nil
+		}
+		p, err := policy.DistanceThreshold([]int{k}, th)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		cells = append(cells, dp)
-		for _, th := range o.Thetas1D {
-			if th >= k {
-				cells = append(cells, math.NaN())
-				continue
-			}
-			p, err := policy.DistanceThreshold([]int{k}, th)
-			if err != nil {
-				return nil, err
-			}
-			b, err := lowerbound.SVDBoundFromGram(gram, p, o.Eps, o.Delta)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, b)
-		}
-		t.Rows = append(t.Rows, fmt.Sprintf("%d", k))
-		t.Cells = append(t.Cells, cells)
+		return lowerbound.SVDBoundFromGram(grams[ri], p, o.Eps, o.Delta)
+	})
+	if err != nil {
+		return nil, err
 	}
+	for _, k := range o.Domains1D {
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", k))
+	}
+	t.Cells = cells
 	return t, nil
 }
 
@@ -106,35 +137,33 @@ func SVD2DExperiment(o Fig10Options) (*Table, error) {
 	if o.IncludeBounded {
 		t.Columns = append(t.Columns, "bounded DP")
 	}
-	for _, g := range o.Grids2D {
+	workers := par.Workers(o.Parallelism)
+	grams := make([]*linalg.Matrix, len(o.Grids2D))
+	par.Do(workers, len(grams), func(ri int) {
+		grams[ri] = lowerbound.RangeGramGrid([]int{o.Grids2D[ri], o.Grids2D[ri]})
+	})
+	cells, err := runBoundGrid(len(o.Grids2D), len(t.Columns), o.Parallelism, func(ri, ci int) (float64, error) {
+		g := o.Grids2D[ri]
 		dims := []int{g, g}
-		gram := lowerbound.RangeGramGrid(dims)
-		cells := make([]float64, 0, len(t.Columns))
-		dp, err := lowerbound.SVDBoundDPFromGram(gram, o.Eps, o.Delta)
-		if err != nil {
-			return nil, err
-		}
-		cells = append(cells, dp)
-		for _, th := range o.Thetas2D {
-			p, err := policy.DistanceThreshold(dims, th)
+		switch {
+		case ci == 0:
+			return lowerbound.SVDBoundDPFromGram(grams[ri], o.Eps, o.Delta)
+		case ci <= len(o.Thetas2D):
+			p, err := policy.DistanceThreshold(dims, o.Thetas2D[ci-1])
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			b, err := lowerbound.SVDBoundFromGram(gram, p, o.Eps, o.Delta)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, b)
+			return lowerbound.SVDBoundFromGram(grams[ri], p, o.Eps, o.Delta)
+		default:
+			return lowerbound.SVDBoundFromGram(grams[ri], policy.Bounded(g*g), o.Eps, o.Delta)
 		}
-		if o.IncludeBounded {
-			b, err := lowerbound.SVDBoundFromGram(gram, policy.Bounded(g*g), o.Eps, o.Delta)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, b)
-		}
-		t.Rows = append(t.Rows, fmt.Sprintf("%d", g*g))
-		t.Cells = append(t.Cells, cells)
+	})
+	if err != nil {
+		return nil, err
 	}
+	for _, g := range o.Grids2D {
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", g*g))
+	}
+	t.Cells = cells
 	return t, nil
 }

@@ -36,9 +36,9 @@ func SymEigenvalues(a *Matrix) ([]float64, error) {
 func SingularValues(a *Matrix) ([]float64, error) {
 	var gram *Matrix
 	if a.Rows >= a.Cols {
-		gram = Mul(a.T(), a)
+		gram = Gram(a)
 	} else {
-		gram = Mul(a, a.T())
+		gram = GramT(a)
 	}
 	ev, err := SymEigenvalues(gram)
 	if err != nil {
@@ -106,12 +106,13 @@ func tred2(a *Matrix, d, e []float64) {
 			for j := 0; j <= l; j++ {
 				e[j] -= hh * d[j]
 			}
+			// Rank-2 update A ← A − v·wᵀ − w·vᵀ (lower triangle, one column
+			// per j). Columns are independent given the pre-update d and e,
+			// and the serial loop never reads a d[j] it has already
+			// rewritten, so the column work can fan out over goroutines with
+			// the d refresh deferred — bitwise identical to the serial order.
+			rank2Update(a, d, e, l)
 			for j := 0; j <= l; j++ {
-				f = d[j]
-				g = e[j]
-				for k := j; k <= l; k++ {
-					a.Set(k, j, a.At(k, j)-f*e[k]-g*d[k])
-				}
 				d[j] = a.At(l, j)
 			}
 		}

@@ -81,42 +81,27 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// Mul returns the matrix product a·b.
+// Mul returns the matrix product a·b. Large products are computed by row
+// blocks on up to SetParallelism goroutines; because every output entry keeps
+// the serial accumulation order, the result is bitwise independent of the
+// worker count.
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	mulInto(out, a, b)
 	return out
 }
 
-// MulVec returns the matrix-vector product a·x.
+// MulVec returns the matrix-vector product a·x, parallelized over row blocks
+// for large matrices (bitwise independent of worker count, like Mul).
 func MulVec(a *Matrix, x []float64) []float64 {
 	if a.Cols != len(x) {
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
 	}
 	out := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
-	}
+	mulVecInto(out, a, x)
 	return out
 }
 
@@ -206,7 +191,8 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: Solve dimension mismatch")
 	}
 	n := a.Rows
-	aug := a.Clone()
+	aug := cloneScratch(a)
+	defer releaseScratch(aug)
 	x := make([]float64, n)
 	copy(x, b)
 	for col := 0; col < n; col++ {
@@ -253,7 +239,8 @@ func Inverse(a *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("linalg: Inverse wants square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	work := a.Clone()
+	work := cloneScratch(a)
+	defer releaseScratch(work)
 	inv := Identity(n)
 	for col := 0; col < n; col++ {
 		pivot, pmax := col, math.Abs(work.At(col, col))
@@ -294,8 +281,7 @@ func Inverse(a *Matrix) (*Matrix, error) {
 // RightInverse returns P⁺ = Pᵀ(P·Pᵀ)⁻¹, the Moore–Penrose right inverse of a
 // full-row-rank matrix P, satisfying P·P⁺ = I.
 func RightInverse(p *Matrix) (*Matrix, error) {
-	gram := Mul(p, p.T())
-	gi, err := Inverse(gram)
+	gi, err := Inverse(GramT(p))
 	if err != nil {
 		return nil, fmt.Errorf("linalg: right inverse: %w", err)
 	}
@@ -305,8 +291,7 @@ func RightInverse(p *Matrix) (*Matrix, error) {
 // PseudoInverseTall returns A⁺ = (AᵀA)⁻¹Aᵀ, the Moore–Penrose pseudo-inverse
 // of a full-column-rank matrix A, satisfying A⁺·A = I.
 func PseudoInverseTall(a *Matrix) (*Matrix, error) {
-	gram := Mul(a.T(), a)
-	gi, err := Inverse(gram)
+	gi, err := Inverse(Gram(a))
 	if err != nil {
 		return nil, fmt.Errorf("linalg: pseudo inverse: %w", err)
 	}
@@ -316,7 +301,8 @@ func PseudoInverseTall(a *Matrix) (*Matrix, error) {
 // Rank returns the numerical rank of a (Gaussian elimination with full row
 // pivoting, tolerance relative to the largest entry).
 func Rank(a *Matrix) int {
-	work := a.Clone()
+	work := cloneScratch(a)
+	defer releaseScratch(work)
 	var maxEntry float64
 	for _, v := range work.Data {
 		if av := math.Abs(v); av > maxEntry {

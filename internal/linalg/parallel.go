@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/privacylab/blowfish/internal/par"
+)
+
+// Parallelism of the dense kernels. 0 (the default) means one worker per
+// available CPU; 1 forces the serial path; n > 1 caps the worker count. The
+// parallel kernels partition work by output rows only, so every entry is
+// accumulated in exactly the serial order and results are bitwise identical
+// at every setting.
+var parallelism atomic.Int64
+
+// SetParallelism sets the worker cap for all kernels in this package and
+// returns the previous value. It is safe for concurrent use, but is intended
+// to be set once at startup (cmd/blowfishbench does this from -parallel).
+func SetParallelism(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(parallelism.Swap(int64(n)))
+}
+
+// Parallelism reports the configured worker cap (0 = one per CPU).
+func Parallelism() int { return int(parallelism.Load()) }
+
+func workers() int { return par.Workers(int(parallelism.Load())) }
+
+// Kernel size thresholds: below these the goroutine fan-out costs more than
+// the arithmetic. Expressed in flops (multiply-adds) per kernel call.
+const (
+	mulParFlops    = 1 << 16
+	mulVecParFlops = 1 << 16
+	// minRowsPerBlock keeps blocks big enough that workers stream whole
+	// cache lines of the output.
+	minRowsPerBlock = 8
+)
+
+// mulRows computes rows [lo, hi) of out = a·b with the cache-friendly ikj
+// loop. This is the single source of truth for the product's iteration order:
+// the serial and parallel paths both run it, so they agree bitwise.
+func mulRows(out, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulInto writes a·b into out, fanning row blocks out over goroutines when
+// the product is large enough to amortize the scheduling.
+func mulInto(out, a, b *Matrix) {
+	w := workers()
+	flops := a.Rows * a.Cols * b.Cols
+	if w <= 1 || flops < mulParFlops || a.Rows < 2*minRowsPerBlock {
+		mulRows(out, a, b, 0, a.Rows)
+		return
+	}
+	blocks := par.Blocks(a.Rows, 4*w, minRowsPerBlock)
+	par.Do(w, len(blocks), func(bi int) {
+		mulRows(out, a, b, blocks[bi].Lo, blocks[bi].Hi)
+	})
+}
+
+// mulVecRows computes out[lo:hi] of a·x.
+func mulVecRows(out []float64, a *Matrix, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+}
+
+func mulVecInto(out []float64, a *Matrix, x []float64) {
+	w := workers()
+	if w <= 1 || a.Rows*a.Cols < mulVecParFlops || a.Rows < 2*minRowsPerBlock {
+		mulVecRows(out, a, x, 0, a.Rows)
+		return
+	}
+	blocks := par.Blocks(a.Rows, 4*w, minRowsPerBlock)
+	par.Do(w, len(blocks), func(bi int) {
+		mulVecRows(out, a, x, blocks[bi].Lo, blocks[bi].Hi)
+	})
+}
+
+// rowGram returns m·mᵀ: the symmetric matrix of all row dot products. It does
+// half the flops of the generic product by computing the upper triangle and
+// mirroring, and parallelizes over output rows. Each entry sums over k in
+// ascending order with the same zero-skip as Mul, so rowGram(m) is bitwise
+// identical to Mul(m, m.T()) for finite inputs.
+func rowGram(m *Matrix) *Matrix {
+	n := m.Rows
+	out := New(n, n)
+	w := workers()
+	if n*n*m.Cols < mulParFlops {
+		w = 1
+	}
+	par.Do(w, n, func(i int) {
+		ri := m.Row(i)
+		orow := out.Row(i)
+		for j := i; j < n; j++ {
+			rj := m.Row(j)
+			var s float64
+			for k, av := range ri {
+				if av == 0 {
+					continue
+				}
+				s += av * rj[k]
+			}
+			orow[j] = s
+		}
+	})
+	// Mirror the strict upper triangle (serial: O(n²) copies).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out.Set(j, i, out.At(i, j))
+		}
+	}
+	return out
+}
+
+// Gram returns aᵀ·a, the (Cols×Cols) Gram matrix of a's columns. It
+// transposes once so the symmetric kernel streams rows, then computes half
+// the product. Results match Mul(a.T(), a) bitwise for finite inputs.
+func Gram(a *Matrix) *Matrix { return rowGram(a.T()) }
+
+// GramT returns a·aᵀ, the (Rows×Rows) Gram matrix of a's rows, matching
+// Mul(a, a.T()) bitwise for finite inputs.
+func GramT(a *Matrix) *Matrix { return rowGram(a) }
+
+// rank2ParMinCols gates the eigensolver's parallel rank-2 update: below this
+// width the per-step fan-out costs more than the column arithmetic.
+const rank2ParMinCols = 128
+
+// rank2Update applies the tred2 Householder step to columns 0..l of the lower
+// triangle: a[k][j] -= d[j]*e[k] + e[j]*d[k] for k in [j, l]. d and e are
+// read-only here; each column is written by exactly one worker.
+func rank2Update(a *Matrix, d, e []float64, l int) {
+	cols := l + 1
+	w := workers()
+	if w <= 1 || cols < rank2ParMinCols {
+		rank2UpdateCols(a, d, e, l, 0, cols)
+		return
+	}
+	blocks := par.Blocks(cols, 4*w, minRowsPerBlock)
+	par.Do(w, len(blocks), func(bi int) {
+		rank2UpdateCols(a, d, e, l, blocks[bi].Lo, blocks[bi].Hi)
+	})
+}
+
+func rank2UpdateCols(a *Matrix, d, e []float64, l, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		fj, gj := d[j], e[j]
+		for k := j; k <= l; k++ {
+			a.Set(k, j, a.At(k, j)-fj*e[k]-gj*d[k])
+		}
+	}
+}
+
+// --- Scratch workspace pool ---
+//
+// Solve, Inverse and Rank clone their input into throwaway elimination
+// buffers; strategy search and the transform fall-back path call them in
+// loops, so those clones dominated allocation. The pool recycles backing
+// slices between calls (and between goroutines: sync.Pool is safe for
+// concurrent use).
+
+var scratchPool = sync.Pool{New: func() any { return new(Matrix) }}
+
+// newScratch returns a pooled rows×cols matrix with undefined contents.
+// Release it with releaseScratch when done; never return it to callers.
+func newScratch(rows, cols int) *Matrix {
+	m := scratchPool.Get().(*Matrix)
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
+// cloneScratch returns a pooled deep copy of a.
+func cloneScratch(a *Matrix) *Matrix {
+	m := newScratch(a.Rows, a.Cols)
+	copy(m.Data, a.Data)
+	return m
+}
+
+func releaseScratch(m *Matrix) {
+	m.Rows, m.Cols = 0, 0
+	scratchPool.Put(m)
+}

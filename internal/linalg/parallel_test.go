@@ -1,0 +1,210 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// withParallelism runs fn at the given kernel worker setting, restoring the
+// previous setting afterwards.
+func withParallelism(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := SetParallelism(n)
+	defer SetParallelism(prev)
+	fn()
+}
+
+func randomSparseMatrix(rng *rand.Rand, rows, cols int, zeroFrac float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < zeroFrac {
+			continue
+		}
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// naiveMul is the obvious triple loop, the reference every kernel is checked
+// against. Accumulation over k is ascending, like the production kernels.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+var mulShapes = []struct{ m, k, n int }{
+	{1, 1, 1}, {3, 7, 5}, {8, 1, 9}, {65, 127, 33}, {128, 64, 128}, {200, 200, 200},
+}
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range mulShapes {
+		for _, zf := range []float64{0, 0.4} {
+			a := randomSparseMatrix(rng, sh.m, sh.k, zf)
+			b := randomSparseMatrix(rng, sh.k, sh.n, zf)
+			want := naiveMul(a, b)
+			for _, workers := range []int{1, 2, 8} {
+				withParallelism(t, workers, func() {
+					got := Mul(a, b)
+					if d := MaxAbsDiff(got, want); d != 0 {
+						t.Fatalf("%dx%d·%dx%d zf=%g workers=%d: diff %g from reference",
+							sh.m, sh.k, sh.k, sh.n, zf, workers, d)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestMulVecParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, rows := range []int{1, 5, 63, 300} {
+		cols := 2*rows + 1
+		a := randomSparseMatrix(rng, rows, cols, 0.2)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		var want []float64
+		withParallelism(t, 1, func() { want = MulVec(a, x) })
+		withParallelism(t, 8, func() {
+			got := MulVec(a, x)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("rows=%d: MulVec[%d] = %g parallel vs %g serial", rows, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestGramKernelsMatchExplicitProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range []struct{ r, c int }{{1, 1}, {7, 3}, {3, 7}, {64, 130}, {130, 64}} {
+		for _, zf := range []float64{0, 0.5} {
+			a := randomSparseMatrix(rng, sh.r, sh.c, zf)
+			wantG := naiveMul(a.T(), a)
+			wantGT := naiveMul(a, a.T())
+			for _, workers := range []int{1, 8} {
+				withParallelism(t, workers, func() {
+					if d := MaxAbsDiff(Gram(a), wantG); d != 0 {
+						t.Fatalf("%dx%d zf=%g workers=%d: Gram diff %g", sh.r, sh.c, zf, workers, d)
+					}
+					if d := MaxAbsDiff(GramT(a), wantGT); d != 0 {
+						t.Fatalf("%dx%d zf=%g workers=%d: GramT diff %g", sh.r, sh.c, zf, workers, d)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestInversesUnderParallelKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	withParallelism(t, 8, func() {
+		p := randomSparseMatrix(rng, 20, 45, 0) // full row rank w.h.p.
+		pinv, err := RightInverse(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(Mul(p, pinv), Identity(20)); d > 1e-8 {
+			t.Fatalf("P·P⁺ off identity by %g", d)
+		}
+		a := randomSparseMatrix(rng, 45, 20, 0) // full column rank w.h.p.
+		aplus, err := PseudoInverseTall(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(Mul(aplus, a), Identity(20)); d > 1e-8 {
+			t.Fatalf("A⁺·A off identity by %g", d)
+		}
+	})
+}
+
+func TestSymEigenvaluesParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	// Big enough that the rank-2 update's parallel path engages.
+	b := randomSparseMatrix(rng, 160, 160, 0)
+	var a *Matrix
+	var want []float64
+	withParallelism(t, 1, func() {
+		a = GramT(b) // symmetric PSD
+		var err error
+		want, err = SymEigenvalues(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withParallelism(t, 8, func() {
+		got, err := SymEigenvalues(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("eigenvalue %d: %g parallel vs %g serial", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+	if old := SetParallelism(-7); old != 3 {
+		t.Fatalf("SetParallelism returned %d, want 3", old)
+	}
+	if Parallelism() != 0 {
+		t.Fatal("negative parallelism should clamp to 0 (auto)")
+	}
+}
+
+func TestScratchPoolSurvivesInterleavedUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	// Solve, Inverse and Rank share the pool; interleave them with differing
+	// shapes and verify each result is unaffected by buffer reuse.
+	for iter := 0; iter < 10; iter++ {
+		n := 3 + iter
+		a := randomSparseMatrix(rng, n, n, 0)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)) // diagonally dominant: well conditioned
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax := MulVec(a, x)
+		for i := range ax {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				t.Fatalf("n=%d: Solve residual %g", n, ax[i]-b[i])
+			}
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(Mul(a, inv), Identity(n)); d > 1e-8 {
+			t.Fatalf("n=%d: A·A⁻¹ off identity by %g", n, d)
+		}
+		if r := Rank(a); r != n {
+			t.Fatalf("n=%d: rank %d", n, r)
+		}
+	}
+}

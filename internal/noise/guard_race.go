@@ -1,0 +1,20 @@
+//go:build race
+
+package noise
+
+import "sync/atomic"
+
+// guard catches concurrent use of a single Source in race-detector builds:
+// overlapping entry panics with a pointer at Split, turning a silent stream
+// corruption into a deterministic failure before the race detector has to get
+// lucky with timing. Normal builds compile the no-op version in
+// guard_norace.go, so the hot samplers pay nothing.
+type guard struct{ busy atomic.Int32 }
+
+func (g *guard) enter() {
+	if !g.busy.CompareAndSwap(0, 1) {
+		panic("noise: Source used from multiple goroutines; derive one stream per worker with Split")
+	}
+}
+
+func (g *guard) exit() { g.busy.Store(0) }

@@ -11,9 +11,12 @@ import (
 
 // Source wraps a seeded PRNG and exposes the distributions differential
 // privacy mechanisms need. It is not safe for concurrent use; create one per
-// goroutine (see Split).
+// goroutine (see Split and SplitN). Race-detector builds add an active guard
+// that panics on overlapping use from multiple goroutines, so `go test -race`
+// catches shared-source misuse deterministically.
 type Source struct {
 	rng *rand.Rand
+	guard
 }
 
 // NewSource returns a Source seeded deterministically.
@@ -24,22 +27,55 @@ func NewSource(seed int64) *Source {
 // Split derives a new independent Source from this one; convenient for
 // fanning one experiment seed out to parallel runs.
 func (s *Source) Split() *Source {
+	s.enter()
+	defer s.exit()
 	return NewSource(s.rng.Int63())
 }
 
+// SplitN derives n independent Sources in a deterministic order — equivalent
+// to calling Split n times. The parallel experiment scheduler uses it to
+// pre-assign one stream per unit of work before fanning out, which is what
+// keeps parallel runs seed-identical to serial ones.
+func (s *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split()
+	}
+	return out
+}
+
 // Uniform returns a uniform float64 in [0, 1).
-func (s *Source) Uniform() float64 { return s.rng.Float64() }
+func (s *Source) Uniform() float64 {
+	s.enter()
+	defer s.exit()
+	return s.rng.Float64()
+}
 
 // Intn returns a uniform int in [0, n).
-func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+func (s *Source) Intn(n int) int {
+	s.enter()
+	defer s.exit()
+	return s.rng.Intn(n)
+}
 
 // Int63 returns a uniform non-negative int64.
-func (s *Source) Int63() int64 { return s.rng.Int63() }
+func (s *Source) Int63() int64 {
+	s.enter()
+	defer s.exit()
+	return s.rng.Int63()
+}
 
 // Laplace samples from the Laplace distribution with mean 0 and scale b,
 // i.e. density (1/2b)·exp(−|x|/b). Scale b ≤ 0 yields 0 (no noise), which is
 // convenient for "infinite ε" baselines in tests.
 func (s *Source) Laplace(b float64) float64 {
+	s.enter()
+	defer s.exit()
+	return s.laplace(b)
+}
+
+// laplace is Laplace without the concurrency guard, for internal loops.
+func (s *Source) laplace(b float64) float64 {
 	if b <= 0 {
 		return 0
 	}
@@ -56,9 +92,11 @@ func (s *Source) Laplace(b float64) float64 {
 
 // LaplaceVec returns n independent Laplace(b) samples.
 func (s *Source) LaplaceVec(n int, b float64) []float64 {
+	s.enter()
+	defer s.exit()
 	out := make([]float64, n)
 	for i := range out {
-		out[i] = s.Laplace(b)
+		out[i] = s.laplace(b)
 	}
 	return out
 }
@@ -66,6 +104,8 @@ func (s *Source) LaplaceVec(n int, b float64) []float64 {
 // TwoSidedGeometric samples the discrete analogue of Laplace noise with
 // parameter alpha = exp(−ε/Δ): P(X = z) ∝ alpha^|z|.
 func (s *Source) TwoSidedGeometric(alpha float64) int64 {
+	s.enter()
+	defer s.exit()
 	if alpha <= 0 {
 		return 0
 	}
@@ -99,6 +139,8 @@ func (s *Source) TwoSidedGeometric(alpha float64) int64 {
 // exp(ε·score[i]/(2·sensitivity)), the exponential mechanism of McSherry and
 // Talwar. Scores may be negative.
 func (s *Source) ExpMechIndex(scores []float64, eps, sensitivity float64) int {
+	s.enter()
+	defer s.exit()
 	if len(scores) == 0 {
 		panic("noise: ExpMechIndex on empty scores")
 	}
@@ -127,8 +169,16 @@ func (s *Source) ExpMechIndex(scores []float64, eps, sensitivity float64) int {
 }
 
 // Shuffle permutes indices [0,n) uniformly and calls swap like rand.Shuffle.
-func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	s.enter()
+	defer s.exit()
+	s.rng.Shuffle(n, swap)
+}
 
 // NormFloat64 returns a standard normal sample (used only by synthetic data
 // generators, never by privacy mechanisms).
-func (s *Source) NormFloat64() float64 { return s.rng.NormFloat64() }
+func (s *Source) NormFloat64() float64 {
+	s.enter()
+	defer s.exit()
+	return s.rng.NormFloat64()
+}

@@ -1,0 +1,125 @@
+// Package par provides the small worker-pool primitives shared by the
+// parallel linear-algebra kernels (internal/linalg) and the experiment
+// scheduler (internal/eval). Work is always partitioned deterministically by
+// index, so callers that pre-assign per-index state (noise streams, output
+// slots) get results independent of worker count and interleaving.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism level: n < 1 means "one worker per
+// available CPU" (GOMAXPROCS); otherwise n itself.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs fn(i) for every i in [0, n) on up to `workers` goroutines. Indices
+// are handed out via an atomic counter, so the assignment of index to worker
+// is nondeterministic but every index runs exactly once. With workers <= 1 (or
+// n <= 1) it degenerates to a plain loop on the calling goroutine.
+func Do(workers, n int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoErr is Do for fallible work: once any worker has failed, remaining
+// indices are skipped, and the lowest-indexed error observed is returned
+// (nil when all indices succeed). With workers <= 1 that is always the first
+// failing index; with concurrent workers, which failures are observed before
+// the pool drains is scheduling-dependent, so callers must not rely on
+// *which* of several concurrent errors they get — only that they get one.
+func DoErr(workers, n int, fn func(i int) error) error {
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		failed   atomic.Bool
+	)
+	Do(workers, n, func(i int) {
+		if failed.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			failed.Store(true)
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}
+
+// Blocks splits [0, n) into at most `parts` contiguous half-open ranges of
+// near-equal size, each at least minSize wide (except possibly the only
+// block). It is the partitioning used by the blocked matrix kernels: each
+// block is processed start-to-end by one worker, so per-element work keeps the
+// serial iteration order.
+type Block struct{ Lo, Hi int }
+
+// Blocks returns the partition; n <= 0 yields nil.
+func Blocks(n, parts, minSize int) []Block {
+	if n <= 0 {
+		return nil
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	max := n / minSize
+	if max < 1 {
+		max = 1
+	}
+	if parts > max {
+		parts = max
+	}
+	out := make([]Block, 0, parts)
+	lo := 0
+	for b := 0; b < parts; b++ {
+		hi := lo + (n-lo)/(parts-b)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out = append(out, Block{Lo: lo, Hi: hi})
+		lo = hi
+		if lo >= n {
+			break
+		}
+	}
+	out[len(out)-1].Hi = n
+	return out
+}

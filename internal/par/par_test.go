@@ -1,0 +1,126 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]atomic.Int32, n)
+			Do(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDoErrReturnsAnEncounteredError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Serial: deterministically the first failing index.
+	err := DoErr(1, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("serial DoErr got %v, want first failing index's error", err)
+	}
+	// Concurrent: one of the injected errors, never something else, never nil.
+	err = DoErr(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) && !errors.Is(err, errB) {
+		t.Fatalf("concurrent DoErr got %v, want one of the injected errors", err)
+	}
+	if err := DoErr(4, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestDoErrStopsAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	err := DoErr(1, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got > 500 {
+		t.Fatalf("scheduler kept dispatching after failure: %d jobs ran", got)
+	}
+}
+
+func TestBlocksPartition(t *testing.T) {
+	for _, tc := range []struct{ n, parts, minSize int }{
+		{0, 4, 1}, {1, 4, 1}, {10, 3, 1}, {10, 30, 1}, {100, 7, 16}, {5, 2, 8},
+	} {
+		blocks := Blocks(tc.n, tc.parts, tc.minSize)
+		if tc.n == 0 {
+			if blocks != nil {
+				t.Fatalf("n=0 should yield nil, got %v", blocks)
+			}
+			continue
+		}
+		want := 0
+		for _, b := range blocks {
+			if b.Lo != want || b.Hi <= b.Lo {
+				t.Fatalf("n=%d parts=%d min=%d: bad block %+v (want Lo=%d)", tc.n, tc.parts, tc.minSize, b, want)
+			}
+			want = b.Hi
+		}
+		if want != tc.n {
+			t.Fatalf("n=%d parts=%d: blocks cover [0,%d)", tc.n, tc.parts, want)
+		}
+		if len(blocks) > tc.parts {
+			t.Fatalf("n=%d parts=%d: %d blocks", tc.n, tc.parts, len(blocks))
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("auto worker count must be positive")
+	}
+}
+
+func TestBlocksRespectMinSize(t *testing.T) {
+	// Every block must be at least minSize wide unless a single block covers
+	// everything.
+	for _, tc := range []struct{ n, parts, minSize int }{
+		{17, 8, 8}, {100, 64, 16}, {7, 3, 8}, {16, 2, 8},
+	} {
+		blocks := Blocks(tc.n, tc.parts, tc.minSize)
+		if len(blocks) == 1 {
+			continue
+		}
+		for _, b := range blocks {
+			if b.Hi-b.Lo < tc.minSize {
+				t.Fatalf("n=%d parts=%d min=%d: block %+v narrower than minSize", tc.n, tc.parts, tc.minSize, b)
+			}
+		}
+	}
+}

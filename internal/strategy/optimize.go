@@ -8,6 +8,7 @@ import (
 	"github.com/privacylab/blowfish/internal/linalg"
 	"github.com/privacylab/blowfish/internal/mech"
 	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/policy"
 	"github.com/privacylab/blowfish/internal/workload"
 )
@@ -90,16 +91,23 @@ func OptimizeDense(p *policy.Policy, w *workload.Workload, eps float64) (Algorit
 	}
 	wg := tr.TransformWorkload(w)
 	m := wg.Cols
-	var best *candidateStrategy
-	for _, c := range []struct {
+	specs := []struct {
 		name string
 		a    *linalg.Matrix
 	}{
 		{"identity-edges", linalg.Identity(m)},
 		{"hierarchy-edges", hierarchyMatrix(m)},
 		{"workload-itself", wg.Clone()},
-	} {
-		cand := buildCandidate(c.name, wg, c.a)
+	}
+	// Each candidate costs a pseudo-inverse plus two dense products, so
+	// evaluate them concurrently; the winner is then picked serially in spec
+	// order, keeping ties deterministic.
+	cands := make([]*candidateStrategy, len(specs))
+	par.Do(par.Workers(linalg.Parallelism()), len(specs), func(i int) {
+		cands[i] = buildCandidate(specs[i].name, wg, specs[i].a)
+	})
+	var best *candidateStrategy
+	for _, cand := range cands {
 		if cand == nil {
 			continue
 		}
