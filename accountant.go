@@ -1,0 +1,107 @@
+package blowfish
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Budget is a cumulative (ε, δ) privacy allowance. The zero value means
+// unlimited: the Accountant then only tracks spend without enforcing a cap.
+type Budget struct {
+	Epsilon float64
+	Delta   float64
+}
+
+// unlimited reports whether the budget enforces nothing.
+func (b Budget) unlimited() bool { return b.Epsilon == 0 && b.Delta == 0 }
+
+// budgetSlack is the relative tolerance absorbing float accumulation error
+// when comparing spend against the cap, so e.g. ten ε=0.1 releases fit
+// exactly in a 1.0 budget. It scales with each axis's own budget — δ
+// budgets live around 1e-6..1e-12, where any absolute slack would permit
+// real overspend.
+const budgetSlack = 1e-12
+
+// Accountant tracks cumulative privacy spend across every release made
+// through an Engine, under basic sequential composition: epsilons and deltas
+// add. It is safe for concurrent use; all Plans of an Engine share one
+// Accountant, so concurrent releases serialize their budget checks.
+type Accountant struct {
+	mu       sync.Mutex
+	budget   Budget
+	spent    Budget
+	releases int64
+}
+
+// newAccountant returns an accountant enforcing the given budget.
+func newAccountant(b Budget) *Accountant { return &Accountant{budget: b} }
+
+// Budget returns the configured allowance (zero value = unlimited).
+func (a *Accountant) Budget() Budget { return a.budget }
+
+// Spent returns the cumulative (ε, δ) charged so far.
+func (a *Accountant) Spent() Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the allowance left, clamped at zero. The second result
+// is false when the budget is unlimited (the first is then meaningless).
+func (a *Accountant) Remaining() (Budget, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.budget.unlimited() {
+		return Budget{}, false
+	}
+	r := Budget{Epsilon: a.budget.Epsilon - a.spent.Epsilon, Delta: a.budget.Delta - a.spent.Delta}
+	if r.Epsilon < 0 {
+		r.Epsilon = 0
+	}
+	if r.Delta < 0 {
+		r.Delta = 0
+	}
+	return r, true
+}
+
+// Releases returns the number of charged releases.
+func (a *Accountant) Releases() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.releases
+}
+
+// charge atomically reserves (eps, delta) for one release, or n releases at
+// once for batches (all-or-nothing). eps <= 0 disables noise, so under a
+// finite budget it is rejected outright rather than priced at zero.
+func (a *Accountant) charge(eps, delta float64, n int) error {
+	// A non-finite charge would poison the running totals (NaN compares
+	// false against everything, silently disabling enforcement forever).
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return fmt.Errorf("blowfish: non-finite privacy charge (ε=%g, δ=%g): %w", eps, delta, ErrInvalidOptions)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.budget.unlimited() {
+		if eps > 0 {
+			a.spent.Epsilon += eps * float64(n)
+			a.spent.Delta += delta * float64(n)
+		}
+		a.releases += int64(n)
+		return nil
+	}
+	if eps <= 0 {
+		return fmt.Errorf("blowfish: eps=%g releases no noise and cannot be afforded by a finite budget: %w", eps, ErrBudgetExhausted)
+	}
+	wantEps := a.spent.Epsilon + eps*float64(n)
+	wantDelta := a.spent.Delta + delta*float64(n)
+	if wantEps > a.budget.Epsilon*(1+budgetSlack) || wantDelta > a.budget.Delta*(1+budgetSlack) {
+		return fmt.Errorf("blowfish: release of (ε=%g, δ=%g)×%d exceeds remaining budget (spent ε=%g of %g, δ=%g of %g): %w",
+			eps, delta, n, a.spent.Epsilon, a.budget.Epsilon, a.spent.Delta, a.budget.Delta, ErrBudgetExhausted)
+	}
+	a.spent.Epsilon = wantEps
+	a.spent.Delta = wantDelta
+	a.releases += int64(n)
+	return nil
+}

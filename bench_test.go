@@ -293,6 +293,71 @@ func BenchmarkAblationThetaLineStrategies(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanReuse compares one release through a prepared Plan against
+// the legacy per-call Answer (which rebuilds the transform and strategy
+// every time) on the Figure 3 row-1 setting: random 1-D ranges under the
+// line policy. The prepared path is the Engine/Plan hot path; ≥5× is the
+// expected gap at this size. cmd/blowfishbench -exp planreuse reports the
+// same comparison through the blowfishbench/v1 JSON schema.
+func BenchmarkPlanReuse(b *testing.B) {
+	const k = 1024
+	src := noise.NewSource(8)
+	p := LinePolicy(k)
+	w := RandomRanges1D(k, 2000, NewSource(8))
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	b.Run("legacy-answer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Answer(w, x, p, 1.0, NewSource(src.Int63()), Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared-plan", func(b *testing.B) {
+		eng, err := Open(p, EngineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := eng.Prepare(w, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Answer(x, 1.0, NewSource(src.Int63())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlanAnswerBatch measures the concurrent batch path: one shared
+// plan answering a batch of databases with pre-split noise streams.
+func BenchmarkPlanAnswerBatch(b *testing.B) {
+	const k = 1024
+	eng, err := Open(LinePolicy(k), EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := eng.Prepare(RandomRanges1D(k, 1000, NewSource(9)), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([][]float64, 16)
+	for i := range xs {
+		xs[i] = make([]float64, k)
+	}
+	src := NewSource(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.AnswerBatch(xs, 1.0, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Micro-benchmarks of the hot substrates ---
 
 // BenchmarkDatabaseTransformLine measures the O(k) tree transform.

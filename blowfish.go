@@ -28,7 +28,6 @@ import (
 	"fmt"
 
 	"github.com/privacylab/blowfish/internal/core"
-	"github.com/privacylab/blowfish/internal/mech"
 	"github.com/privacylab/blowfish/internal/noise"
 	"github.com/privacylab/blowfish/internal/policy"
 	"github.com/privacylab/blowfish/internal/strategy"
@@ -162,9 +161,14 @@ type Options struct {
 // selecting the best strategy the paper provides for the policy's shape.
 // The database x is a histogram over the policy domain; eps <= 0 disables
 // noise (useful for testing pipelines).
+//
+// Answer recompiles the policy transform and strategy on every call. For
+// repeated releases — and for concurrent serving — Open an Engine once,
+// Prepare a Plan per workload, and call Plan.Answer, which produces bitwise
+// identical output without the per-call compilation.
 func Answer(w *Workload, x []float64, p *Policy, eps float64, src *Source, opts Options) ([]float64, error) {
 	if len(x) != p.K {
-		return nil, fmt.Errorf("blowfish: database size %d != policy domain %d", len(x), p.K)
+		return nil, fmt.Errorf("blowfish: database size %d != policy domain %d: %w", len(x), p.K, ErrDomainMismatch)
 	}
 	alg, err := SelectAlgorithm(w, p, opts)
 	if err != nil {
@@ -174,49 +178,15 @@ func Answer(w *Workload, x []float64, p *Policy, eps float64, src *Source, opts 
 }
 
 // SelectAlgorithm returns the strategy Answer would use, exposed so callers
-// can inspect or reuse it across repeated releases.
+// can inspect or reuse it across repeated releases. It is a thin wrapper
+// over the Engine path: the returned Algorithm's Prepare hook compiles the
+// strategy for a workload once, which is what Engine.Prepare uses.
 func SelectAlgorithm(w *Workload, p *Policy, opts Options) (Algorithm, error) {
-	theta := opts.Theta
-	if theta == 0 {
-		theta = p.Theta
+	eng, err := Open(p, EngineOptions{})
+	if err != nil {
+		return Algorithm{}, err
 	}
-	switch {
-	case p.G.IsTree():
-		tr, err := core.New(p)
-		if err != nil {
-			return Algorithm{}, err
-		}
-		return strategy.TreePolicy("blowfish(tree)", tr, 1, estimatorFunc(opts)), nil
-	case len(p.Dims) == 1 && theta >= 1:
-		sp, err := policy.LineSpanner(p.K, theta)
-		if err != nil {
-			return Algorithm{}, err
-		}
-		tr, err := core.New(sp.H)
-		if err != nil {
-			return Algorithm{}, err
-		}
-		return strategy.TreePolicy("blowfish(theta-line)", tr, sp.Stretch, estimatorFunc(opts)), nil
-	case len(p.Dims) == 2 && theta == 1 && rangesOnly(w):
-		return strategy.GridPolicyRange2D(p.Dims, mech.PriveletKind), nil
-	case len(p.Dims) == 2 && theta > 1 && rangesOnly(w):
-		return strategy.ThetaGridRange2D(p.Dims, theta), nil
-	case len(p.Dims) > 2 && theta == 1 && rangesOnly(w):
-		return strategy.GridPolicyRangeKd(p.Dims), nil
-	case p.Connected():
-		// Generic fallback: BFS spanning tree with computed stretch.
-		sp, err := policy.BFSSpanner(p, 0)
-		if err != nil {
-			return Algorithm{}, err
-		}
-		tr, err := core.New(sp.H)
-		if err != nil {
-			return Algorithm{}, err
-		}
-		return strategy.TreePolicy("blowfish(bfs-tree)", tr, sp.Stretch, estimatorFunc(opts)), nil
-	default:
-		return Algorithm{}, fmt.Errorf("blowfish: policy %q is disconnected; split it with SplitComponents", p.Name)
-	}
+	return eng.algorithm(w, opts)
 }
 
 // OptimizeAlgorithm searches a small family of matrix-mechanism strategies

@@ -12,7 +12,7 @@
 //	blowfishbench -exp fig3 -parallel 8     # 8 measurement workers
 //	blowfishbench -exp all -json BENCH_eval.json
 //
-// Experiment ids: table1, fig3, fig10a, fig10b, and figNx where N∈{8,9} and
+// Experiment ids: table1, fig3, fig10a, fig10b, planreuse, and figNx where N∈{8,9} and
 // x∈{a..h} (fig8 and fig9 alone run all four workloads at both of that
 // figure's ε values). Results are deterministic for a fixed -seed at every
 // -parallel setting: experiment noise streams are pre-split in a fixed
@@ -31,6 +31,7 @@ import (
 
 	"github.com/privacylab/blowfish/internal/eval"
 	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/strategy"
 )
 
 func main() {
@@ -59,7 +60,7 @@ func main() {
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b"}
+		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "planreuse"}
 	}
 	report := benchReport{
 		Schema:      "blowfishbench/v1",
@@ -71,13 +72,16 @@ func main() {
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
+		compilesBefore := strategy.Compilations()
 		tables, err := run(id, opts, *full, os.Stdout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "blowfishbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		report.Experiments = append(report.Experiments, benchRecord{
-			ID: id, Seconds: time.Since(start).Seconds(), Tables: tables,
+			ID: id, Seconds: time.Since(start).Seconds(),
+			Compilations: strategy.Compilations() - compilesBefore,
+			Tables:       tables,
 		})
 	}
 	if *jsonOut != "" {
@@ -100,9 +104,13 @@ type benchReport struct {
 }
 
 type benchRecord struct {
-	ID      string        `json:"id"`
-	Seconds float64       `json:"seconds"`
-	Tables  []*eval.Table `json:"tables"`
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	// Compilations counts strategy compilations during the experiment;
+	// since the plan-reuse rewiring it grows with the number of grid
+	// cells, not (cells × runs).
+	Compilations int64         `json:"compilations"`
+	Tables       []*eval.Table `json:"tables"`
 }
 
 func writeReport(path string, r *benchReport) error {
@@ -160,6 +168,10 @@ func run(id string, opts eval.Options, full bool, out io.Writer) ([]*eval.Table,
 		}
 	case id == "fig10b":
 		if err := emit(eval.SVD2DExperiment(fig10Options(full, opts.Parallelism))); err != nil {
+			return nil, err
+		}
+	case id == "planreuse":
+		if err := emit(eval.PlanReuseExperiment(opts)); err != nil {
 			return nil, err
 		}
 	case id == "fig8" || id == "fig9":

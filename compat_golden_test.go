@@ -1,0 +1,153 @@
+package blowfish
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// The golden compatibility suite pins the exact bit patterns the legacy
+// Answer entry point produces for every estimator/policy pair the evaluation
+// exercises. The file testdata/answer_golden.json was generated before the
+// Engine/Plan refactor; Answer must keep reproducing it bit for bit, which
+// proves the compiled hot path performs the same float operations in the
+// same order as the original per-call implementation.
+//
+// Regenerate (only for an intentional, reviewed behavior change):
+//
+//	go test -run TestAnswerGoldenCompat -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/answer_golden.json")
+
+const goldenPath = "testdata/answer_golden.json"
+
+// goldenCase is one (policy, workload, estimator) combination answered at a
+// fixed seed. Workload construction gets its own deterministic source so
+// random query sets are stable.
+type goldenCase struct {
+	name     string
+	policy   func() (*Policy, error)
+	workload func(src *Source) *Workload
+	opts     Options
+}
+
+func goldenCases() []goldenCase {
+	cyclePolicy := func() (*Policy, error) {
+		p := LinePolicy(10)
+		p.G.MustAddEdge(9, 0)
+		p.Name = "cycle"
+		p.Theta = 0
+		p.Dims = nil
+		return p, nil
+	}
+	line32 := func() (*Policy, error) { return LinePolicy(32), nil }
+	hist32 := func(*Source) *Workload { return Histogram(32) }
+	ranges32 := func(*Source) *Workload { return AllRanges1D(32) }
+	return []goldenCase{
+		{"line/hist/laplace", line32, hist32, Options{Estimator: EstimatorLaplace}},
+		{"line/hist/consistent", line32, hist32, Options{Estimator: EstimatorConsistent}},
+		{"line/hist/dawa", line32, hist32, Options{Estimator: EstimatorDAWA}},
+		{"line/hist/dawacons", line32, hist32, Options{Estimator: EstimatorDAWAConsistent}},
+		{"line/hist/gaussian", line32, hist32, Options{Estimator: EstimatorGaussian, Delta: 1e-6}},
+		{"line/hist/geometric", line32, hist32, Options{Estimator: EstimatorGeometric}},
+		{"line/ranges/laplace", line32, ranges32, Options{}},
+		{"line/ranges/consistent", line32, ranges32, Options{Estimator: EstimatorConsistent}},
+		{"unbounded/ranges/laplace", func() (*Policy, error) { return UnboundedPolicy(12), nil },
+			func(*Source) *Workload { return AllRanges1D(12) }, Options{}},
+		{"bounded/hist/laplace", func() (*Policy, error) { return BoundedPolicy(12), nil },
+			func(*Source) *Workload { return Histogram(12) }, Options{}},
+		{"thetaline/ranges/laplace", func() (*Policy, error) { return DistanceThresholdPolicy([]int{48}, 3) },
+			func(*Source) *Workload { return AllRanges1D(48) }, Options{}},
+		{"thetaline/ranges/dawa", func() (*Policy, error) { return DistanceThresholdPolicy([]int{48}, 3) },
+			func(*Source) *Workload { return AllRanges1D(48) }, Options{Estimator: EstimatorDAWA}},
+		{"grid/ranges", func() (*Policy, error) { return GridPolicy(6), nil },
+			func(src *Source) *Workload { return RandomRangesKd([]int{6, 6}, 40, src) }, Options{}},
+		{"thetagrid/ranges", func() (*Policy, error) { return DistanceThresholdPolicy([]int{8, 8}, 3) },
+			func(src *Source) *Workload { return RandomRangesKd([]int{8, 8}, 40, src) }, Options{}},
+		{"gridkd/ranges", func() (*Policy, error) { return DistanceThresholdPolicy([]int{4, 4, 4}, 1) },
+			func(src *Source) *Workload { return RandomRangesKd([]int{4, 4, 4}, 40, src) }, Options{}},
+		{"bfs/ranges/laplace", cyclePolicy,
+			func(*Source) *Workload { return AllRanges1D(10) }, Options{}},
+	}
+}
+
+// goldenDatabase is the deterministic histogram every case answers on.
+func goldenDatabase(k int) []float64 {
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = float64((i*13)%23 + 1)
+	}
+	return x
+}
+
+// runGoldenCase produces the legacy Answer output for one case as exact
+// float64 bit patterns.
+func runGoldenCase(t *testing.T, idx int, gc goldenCase) []string {
+	t.Helper()
+	p, err := gc.policy()
+	if err != nil {
+		t.Fatalf("%s: policy: %v", gc.name, err)
+	}
+	w := gc.workload(NewSource(int64(2000 + idx)))
+	got, err := Answer(w, goldenDatabase(p.K), p, 0.7, NewSource(int64(1000+idx)), gc.opts)
+	if err != nil {
+		t.Fatalf("%s: answer: %v", gc.name, err)
+	}
+	bits := make([]string, len(got))
+	for i, v := range got {
+		bits[i] = strconv.FormatUint(math.Float64bits(v), 16)
+	}
+	return bits
+}
+
+func TestAnswerGoldenCompat(t *testing.T) {
+	results := map[string][]string{}
+	for i, gc := range goldenCases() {
+		results[gc.name] = runGoldenCase(t, i, gc)
+	}
+	if *updateGolden {
+		raw, err := json.MarshalIndent(results, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", goldenPath, len(results))
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+	}
+	var want map[string][]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(results) {
+		t.Fatalf("golden has %d cases, suite has %d", len(want), len(results))
+	}
+	for name, bits := range results {
+		wb, ok := want[name]
+		if !ok {
+			t.Errorf("case %s missing from golden", name)
+			continue
+		}
+		if len(wb) != len(bits) {
+			t.Errorf("%s: got %d answers, golden has %d", name, len(bits), len(wb))
+			continue
+		}
+		for i := range bits {
+			if bits[i] != wb[i] {
+				t.Errorf("%s: answer %d = %s, golden %s (not bitwise identical)", name, i, bits[i], wb[i])
+				break
+			}
+		}
+	}
+}

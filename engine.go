@@ -1,0 +1,299 @@
+package blowfish
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/privacylab/blowfish/internal/core"
+	"github.com/privacylab/blowfish/internal/mech"
+	"github.com/privacylab/blowfish/internal/par"
+	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/strategy"
+)
+
+// EngineOptions configures a long-lived Engine.
+type EngineOptions struct {
+	// Budget caps the cumulative (ε, δ) spend across every release made
+	// through the Engine (basic sequential composition). The zero value
+	// means unlimited: spend is tracked but never enforced.
+	Budget Budget
+}
+
+func (o EngineOptions) validate() error {
+	b := o.Budget
+	if !(b.Epsilon >= 0) || !(b.Delta >= 0) ||
+		math.IsInf(b.Epsilon, 1) || math.IsInf(b.Delta, 1) {
+		// Negative, NaN and infinite budgets are all rejected (NaN fails
+		// every comparison, which would silently disable enforcement); use
+		// the zero value for an unlimited budget.
+		return fmt.Errorf("blowfish: non-finite or negative budget (ε=%g, δ=%g): %w",
+			b.Epsilon, b.Delta, ErrInvalidOptions)
+	}
+	return nil
+}
+
+// validate is the single validation point for per-plan Options, shared by
+// Answer, SelectAlgorithm and Engine.Prepare.
+func (o Options) validate() error {
+	if o.Theta < 0 {
+		return fmt.Errorf("blowfish: negative theta %d: %w", o.Theta, ErrInvalidOptions)
+	}
+	if !(o.Delta >= 0) || math.IsInf(o.Delta, 1) { // also rejects NaN
+		return fmt.Errorf("blowfish: non-finite or negative delta %g: %w", o.Delta, ErrInvalidOptions)
+	}
+	if o.Estimator == EstimatorGaussian && o.Delta <= 0 {
+		return fmt.Errorf("blowfish: EstimatorGaussian requires Delta > 0 (Appendix A): %w", ErrInvalidOptions)
+	}
+	return nil
+}
+
+// Engine is the compile-once, serve-many entry point: Open validates a
+// policy and caches its transform/spanner artifacts; Prepare binds a
+// workload to the selected strategy, returning a Plan whose Answer runs
+// only the noise-and-reconstruct hot path. An Engine and its Plans are safe
+// for concurrent use (each concurrent caller needs its own noise Source).
+type Engine struct {
+	p    *policy.Policy
+	acct *Accountant
+
+	// mu guards trees, the per-(branch, theta) transform artifact cache.
+	// Artifacts are immutable once stored, so Plans use them lock-free.
+	mu    sync.Mutex
+	trees map[treeKey]*treeArtifact
+}
+
+// treeKey identifies one cached transform artifact.
+type treeKey struct {
+	branch string // "tree", "theta-line", "bfs"
+	theta  int
+}
+
+// treeArtifact is a compiled policy transform with its Lemma 4.5 stretch.
+type treeArtifact struct {
+	name    string
+	tr      *core.Transform
+	stretch int
+}
+
+// Open compiles and caches the policy-level artifacts once and returns a
+// long-lived Engine. For tree policies the P_G transform is built eagerly;
+// for 1-D distance-threshold policies the stretch-3 spanner H^θ_k and its
+// transform are; grid policies compile per-workload in Prepare. The
+// returned Engine tracks cumulative privacy spend in its Accountant.
+func Open(p *Policy, opts EngineOptions) (*Engine, error) {
+	if p == nil {
+		return nil, fmt.Errorf("blowfish: nil policy: %w", ErrInvalidOptions)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		p:     p,
+		acct:  newAccountant(opts.Budget),
+		trees: map[treeKey]*treeArtifact{},
+	}
+	// Eagerly compile the default-branch artifact so the first Prepare (and
+	// every later one) reuses it.
+	switch {
+	case p.G.IsTree():
+		if _, err := e.treeArtifact(treeKey{branch: "tree"}); err != nil {
+			return nil, err
+		}
+	case len(p.Dims) == 1 && p.Theta >= 1:
+		if _, err := e.treeArtifact(treeKey{branch: "theta-line", theta: p.Theta}); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Policy returns the policy the Engine was opened with.
+func (e *Engine) Policy() *Policy { return e.p }
+
+// Accountant returns the Engine's budget accountant.
+func (e *Engine) Accountant() *Accountant { return e.acct }
+
+// treeArtifact returns the cached transform artifact for key, compiling it
+// on first use.
+func (e *Engine) treeArtifact(key treeKey) (*treeArtifact, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if art, ok := e.trees[key]; ok {
+		return art, nil
+	}
+	var art *treeArtifact
+	switch key.branch {
+	case "tree":
+		tr, err := core.New(e.p)
+		if err != nil {
+			return nil, err
+		}
+		art = &treeArtifact{name: "blowfish(tree)", tr: tr, stretch: 1}
+	case "theta-line":
+		sp, err := policy.LineSpanner(e.p.K, key.theta)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := core.New(sp.H)
+		if err != nil {
+			return nil, err
+		}
+		art = &treeArtifact{name: "blowfish(theta-line)", tr: tr, stretch: sp.Stretch}
+	case "bfs":
+		sp, err := policy.BFSSpanner(e.p, 0)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := core.New(sp.H)
+		if err != nil {
+			return nil, err
+		}
+		art = &treeArtifact{name: "blowfish(bfs-tree)", tr: tr, stretch: sp.Stretch}
+	default:
+		return nil, fmt.Errorf("blowfish: unknown artifact branch %q", key.branch)
+	}
+	e.trees[key] = art
+	return art, nil
+}
+
+// algorithm resolves the strategy branch for (w, opts) exactly as the
+// original SelectAlgorithm did, but with transform/spanner artifacts served
+// from the Engine cache. The returned Algorithm carries both the legacy
+// per-call Run and the compile-once Prepare.
+func (e *Engine) algorithm(w *Workload, opts Options) (Algorithm, error) {
+	if err := opts.validate(); err != nil {
+		return Algorithm{}, err
+	}
+	p := e.p
+	theta := opts.Theta
+	if theta == 0 {
+		theta = p.Theta
+	}
+	switch {
+	case p.G.IsTree():
+		art, err := e.treeArtifact(treeKey{branch: "tree"})
+		if err != nil {
+			return Algorithm{}, err
+		}
+		return strategy.TreePolicy(art.name, art.tr, art.stretch, estimatorFunc(opts)), nil
+	case len(p.Dims) == 1 && theta >= 1:
+		art, err := e.treeArtifact(treeKey{branch: "theta-line", theta: theta})
+		if err != nil {
+			return Algorithm{}, err
+		}
+		return strategy.TreePolicy(art.name, art.tr, art.stretch, estimatorFunc(opts)), nil
+	case len(p.Dims) == 2 && theta == 1 && rangesOnly(w):
+		return strategy.GridPolicyRange2D(p.Dims, mech.PriveletKind), nil
+	case len(p.Dims) == 2 && theta > 1 && rangesOnly(w):
+		return strategy.ThetaGridRange2D(p.Dims, theta), nil
+	case len(p.Dims) > 2 && theta == 1 && rangesOnly(w):
+		return strategy.GridPolicyRangeKd(p.Dims), nil
+	case p.Connected():
+		// Generic fallback: BFS spanning tree with computed stretch.
+		art, err := e.treeArtifact(treeKey{branch: "bfs"})
+		if err != nil {
+			return Algorithm{}, err
+		}
+		return strategy.TreePolicy(art.name, art.tr, art.stretch, estimatorFunc(opts)), nil
+	default:
+		return Algorithm{}, fmt.Errorf("blowfish: policy %q is disconnected; split it with SplitComponents: %w",
+			p.Name, ErrDisconnectedPolicy)
+	}
+}
+
+// Prepare binds workload w to the strategy the Engine selects for it,
+// compiling the strategy matrices, sensitivities and per-query supports
+// once. The returned Plan answers repeated releases without any
+// recompilation and is safe for concurrent use.
+func (e *Engine) Prepare(w *Workload, opts Options) (*Plan, error) {
+	if w == nil {
+		return nil, fmt.Errorf("blowfish: nil workload: %w", ErrInvalidOptions)
+	}
+	if w.K != e.p.K {
+		return nil, fmt.Errorf("blowfish: workload domain %d != policy domain %d: %w", w.K, e.p.K, ErrDomainMismatch)
+	}
+	alg, err := e.algorithm(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := alg.Prepare(w)
+	if err != nil {
+		return nil, err
+	}
+	var delta float64
+	if opts.Estimator == EstimatorGaussian {
+		delta = opts.Delta
+	}
+	return &Plan{eng: e, prep: prep, k: e.p.K, queries: w.Len(), delta: delta}, nil
+}
+
+// Plan is a workload bound to a compiled strategy. Answer and AnswerBatch
+// run only the noise-and-reconstruct hot path; the Plan itself is immutable
+// and safe for concurrent use from many goroutines as long as each call
+// gets its own Source.
+type Plan struct {
+	eng     *Engine
+	prep    *strategy.Prepared
+	k       int
+	queries int
+	delta   float64 // per-release δ spend (Gaussian estimator), else 0
+}
+
+// Algorithm returns the name of the compiled strategy, matching the names
+// SelectAlgorithm reports ("blowfish(tree)", "Transformed + Privelet", …).
+func (pl *Plan) Algorithm() string { return pl.prep.Name }
+
+// Queries returns the number of workload queries the Plan answers.
+func (pl *Plan) Queries() int { return pl.queries }
+
+// Answer releases the plan's workload over histogram x under
+// (eps, p)-Blowfish privacy, charging the Engine's Accountant first. The
+// convention eps <= 0 disables noise (and is rejected under a finite
+// budget). The output is bitwise identical to what the legacy Answer
+// entry point produces for the same inputs and Source state.
+func (pl *Plan) Answer(x []float64, eps float64, src *Source) ([]float64, error) {
+	if len(x) != pl.k {
+		return nil, fmt.Errorf("blowfish: database size %d != policy domain %d: %w", len(x), pl.k, ErrDomainMismatch)
+	}
+	if err := pl.eng.acct.charge(eps, pl.delta, 1); err != nil {
+		return nil, err
+	}
+	return pl.prep.Answer(x, eps, src)
+}
+
+// AnswerBatch releases the plan's workload over every database in xs at
+// budget eps each, charging the Accountant for all of them atomically
+// (all or nothing) and fanning the releases out over a worker pool. Noise
+// streams are pre-split from src in serial order, so the results are
+// identical to len(xs) sequential Answer calls each given src.Split().
+func (pl *Plan) AnswerBatch(xs [][]float64, eps float64, src *Source) ([][]float64, error) {
+	for i, x := range xs {
+		if len(x) != pl.k {
+			return nil, fmt.Errorf("blowfish: database %d size %d != policy domain %d: %w", i, len(x), pl.k, ErrDomainMismatch)
+		}
+	}
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	if err := pl.eng.acct.charge(eps, pl.delta, len(xs)); err != nil {
+		return nil, err
+	}
+	srcs := src.SplitN(len(xs))
+	out := make([][]float64, len(xs))
+	err := par.DoErr(par.Workers(0), len(xs), func(i int) error {
+		got, err := pl.prep.Answer(xs[i], eps, srcs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

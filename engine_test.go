@@ -1,0 +1,489 @@
+package blowfish
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/core"
+	"github.com/privacylab/blowfish/internal/strategy"
+)
+
+// TestPlanMatchesLegacyAnswer checks the two entry points are bitwise
+// interchangeable on every strategy branch: a Plan prepared once must
+// reproduce exactly what the per-call Answer produces from the same Source
+// state.
+func TestPlanMatchesLegacyAnswer(t *testing.T) {
+	wsrc := NewSource(41)
+	cases := []struct {
+		name string
+		p    *Policy
+		w    *Workload
+		opts Options
+	}{
+		{"tree", LinePolicy(24), AllRanges1D(24), Options{}},
+		{"tree/dawa", LinePolicy(24), Histogram(24), Options{Estimator: EstimatorDAWA}},
+		{"grid", GridPolicy(5), RandomRangesKd([]int{5, 5}, 60, wsrc.Split()), Options{}},
+	}
+	if p, err := DistanceThresholdPolicy([]int{30}, 3); err == nil {
+		cases = append(cases, struct {
+			name string
+			p    *Policy
+			w    *Workload
+			opts Options
+		}{"theta-line", p, AllRanges1D(30), Options{}})
+	}
+	if p, err := DistanceThresholdPolicy([]int{7, 7}, 3); err == nil {
+		cases = append(cases, struct {
+			name string
+			p    *Policy
+			w    *Workload
+			opts Options
+		}{"theta-grid", p, RandomRangesKd([]int{7, 7}, 60, wsrc.Split()), Options{}})
+	}
+	for _, tc := range cases {
+		x := make([]float64, tc.p.K)
+		for i := range x {
+			x[i] = float64((i*5)%11 + 1)
+		}
+		eng, err := Open(tc.p, EngineOptions{})
+		if err != nil {
+			t.Fatalf("%s: open: %v", tc.name, err)
+		}
+		plan, err := eng.Prepare(tc.w, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", tc.name, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			seed := int64(100*trial + 7)
+			want, err := Answer(tc.w, x, tc.p, 0.8, NewSource(seed), tc.opts)
+			if err != nil {
+				t.Fatalf("%s: legacy: %v", tc.name, err)
+			}
+			got, err := plan.Answer(x, 0.8, NewSource(seed))
+			if err != nil {
+				t.Fatalf("%s: plan: %v", tc.name, err)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s trial %d: query %d plan=%v legacy=%v (not bitwise identical)",
+						tc.name, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPlanAnswerZeroRecompilation asserts the hot path never recompiles:
+// the strategy and transform compile counters must stay flat across many
+// Answer calls on one Plan, while the legacy path bumps them per call.
+func TestPlanAnswerZeroRecompilation(t *testing.T) {
+	p := LinePolicy(64)
+	w := AllRanges1D(64)
+	x := make([]float64, 64)
+	eng, err := Open(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(9)
+	c0, t0 := strategy.Compilations(), core.TransformBuilds()
+	for i := 0; i < 50; i++ {
+		if _, err := plan.Answer(x, 0.5, src.Split()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c, tr := strategy.Compilations(), core.TransformBuilds(); c != c0 || tr != t0 {
+		t.Fatalf("plan.Answer recompiled: strategy %d->%d, transforms %d->%d", c0, c, t0, tr)
+	}
+	// Sanity: the legacy path does recompile per call.
+	if _, err := Answer(w, x, p, 0.5, src.Split(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if c := strategy.Compilations(); c == c0 {
+		t.Fatal("legacy Answer did not bump the compile counter")
+	}
+}
+
+// TestPlanConcurrentAnswer exercises one shared Plan from several
+// goroutines with separate Sources; run under -race this is the
+// concurrent-serving regression test.
+func TestPlanConcurrentAnswer(t *testing.T) {
+	p := LinePolicy(128)
+	w := AllRanges1D(128)
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = float64(i % 9)
+	}
+	eng, err := Open(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 4
+	const perG = 20
+	seeds := NewSource(17)
+	srcs := seeds.SplitN(goroutines)
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := plan.Answer(x, 1.0, srcs[g].Split()); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if n := eng.Accountant().Releases(); n != goroutines*perG {
+		t.Fatalf("accountant saw %d releases, want %d", n, goroutines*perG)
+	}
+}
+
+// TestPlanAnswerBatch checks batch releases match sequential ones and fan
+// out correctly.
+func TestPlanAnswerBatch(t *testing.T) {
+	p := LinePolicy(32)
+	w := Histogram(32)
+	eng, err := Open(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([][]float64, 6)
+	for i := range xs {
+		xs[i] = make([]float64, 32)
+		xs[i][i] = float64(10 * (i + 1))
+	}
+	batch, err := plan.AnswerBatch(xs, 0.5, NewSource(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same results as sequential Answer calls each given src.Split().
+	src := NewSource(23)
+	for i, x := range xs {
+		want, err := plan.Answer(x, 0.5, src.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Float64bits(batch[i][j]) != math.Float64bits(want[j]) {
+				t.Fatalf("batch %d query %d: %v != sequential %v", i, j, batch[i][j], want[j])
+			}
+		}
+	}
+	if n := eng.Accountant().Releases(); n != int64(2*len(xs)) {
+		t.Fatalf("releases %d, want %d", n, 2*len(xs))
+	}
+}
+
+// TestAccountantBudget covers the (ε, δ) budget enforcement paths.
+func TestAccountantBudget(t *testing.T) {
+	p := LinePolicy(16)
+	w := Histogram(16)
+	x := make([]float64, 16)
+	eng, err := Open(p, EngineOptions{Budget: Budget{Epsilon: 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(31)
+	// Ten ε=0.1 releases fit exactly.
+	for i := 0; i < 10; i++ {
+		if _, err := plan.Answer(x, 0.1, src.Split()); err != nil {
+			t.Fatalf("release %d within budget rejected: %v", i, err)
+		}
+	}
+	// The eleventh must fail with the typed error.
+	if _, err := plan.Answer(x, 0.1, src.Split()); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over-budget release: got %v, want ErrBudgetExhausted", err)
+	}
+	if rem, ok := eng.Accountant().Remaining(); !ok || rem.Epsilon > 1e-9 {
+		t.Fatalf("remaining = %+v, %v; want ~0, true", rem, ok)
+	}
+	// eps <= 0 (no noise) is rejected outright under a finite budget.
+	eng2, err := Open(p, EngineOptions{Budget: Budget{Epsilon: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := eng2.Prepare(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan2.Answer(x, 0, NewSource(1)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("eps=0 under finite budget: got %v, want ErrBudgetExhausted", err)
+	}
+	// Batches charge atomically: a 3×0.4 batch exceeds what a 2×0.4 spend
+	// left of ε=2 only when it would overrun — here 5×0.4 = 2.0 fits, a
+	// sixth release does not.
+	eng3, err := Open(p, EngineOptions{Budget: Budget{Epsilon: 2, Delta: 1e-5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan3, err := eng3.Prepare(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{x, x, x, x, x}
+	if _, err := plan3.AnswerBatch(xs, 0.4, NewSource(2)); err != nil {
+		t.Fatalf("batch within budget rejected: %v", err)
+	}
+	if _, err := plan3.Answer(x, 0.4, NewSource(3)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("post-batch release: got %v, want ErrBudgetExhausted", err)
+	}
+	spent := eng3.Accountant().Spent()
+	if math.Abs(spent.Epsilon-2.0) > 1e-9 {
+		t.Fatalf("spent ε=%g, want 2.0", spent.Epsilon)
+	}
+}
+
+// TestGaussianDeltaAccounting checks δ spend is tracked for the Appendix A
+// Gaussian estimator.
+func TestGaussianDeltaAccounting(t *testing.T) {
+	p := LinePolicy(16)
+	w := Histogram(16)
+	x := make([]float64, 16)
+	eng, err := Open(p, EngineOptions{Budget: Budget{Epsilon: 10, Delta: 2e-6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(w, Options{Estimator: EstimatorGaussian, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(5)
+	for i := 0; i < 2; i++ {
+		if _, err := plan.Answer(x, 0.5, src.Split()); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	// δ budget exhausted before ε.
+	if _, err := plan.Answer(x, 0.5, src.Split()); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("delta over-budget: got %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestOptionsValidation covers the single validation point shared by
+// Answer, SelectAlgorithm and Prepare.
+func TestOptionsValidation(t *testing.T) {
+	p := LinePolicy(8)
+	w := Histogram(8)
+	x := make([]float64, 8)
+	bad := []Options{
+		{Theta: -1},
+		{Delta: -0.5},
+		{Estimator: EstimatorGaussian}, // Delta <= 0
+	}
+	for i, opts := range bad {
+		if _, err := Answer(w, x, p, 1, NewSource(1), opts); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("Answer bad opts %d: got %v, want ErrInvalidOptions", i, err)
+		}
+		if _, err := SelectAlgorithm(w, p, opts); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("SelectAlgorithm bad opts %d: got %v, want ErrInvalidOptions", i, err)
+		}
+		eng, err := Open(p, EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Prepare(w, opts); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("Prepare bad opts %d: got %v, want ErrInvalidOptions", i, err)
+		}
+	}
+	if _, err := Open(p, EngineOptions{Budget: Budget{Epsilon: -1}}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("negative budget: got %v, want ErrInvalidOptions", err)
+	}
+	// NaN budgets would silently disable enforcement (NaN fails every
+	// comparison) and must be rejected up front, as must NaN Delta.
+	if _, err := Open(p, EngineOptions{Budget: Budget{Epsilon: math.NaN()}}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("NaN budget: got %v, want ErrInvalidOptions", err)
+	}
+	if _, err := Answer(w, x, p, 1, NewSource(1), Options{Estimator: EstimatorGaussian, Delta: math.NaN()}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("NaN delta: got %v, want ErrInvalidOptions", err)
+	}
+	// Open(nil, ...) returns the typed error rather than panicking.
+	if _, err := Open(nil, EngineOptions{}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("nil policy: got %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestAccountantRejectsNonFiniteCharge guards against NaN/Inf eps poisoning
+// the running spend totals and disabling the budget forever.
+func TestAccountantRejectsNonFiniteCharge(t *testing.T) {
+	p := LinePolicy(8)
+	w := Histogram(8)
+	x := make([]float64, 8)
+	eng, err := Open(p, EngineOptions{Budget: Budget{Epsilon: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := plan.Answer(x, eps, NewSource(1)); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("eps=%v: got %v, want ErrInvalidOptions", eps, err)
+		}
+	}
+	// The rejected charges must not have corrupted the accountant: a normal
+	// release still succeeds and spend stays finite.
+	if _, err := plan.Answer(x, 0.5, NewSource(2)); err != nil {
+		t.Fatalf("release after rejected charges: %v", err)
+	}
+	if s := eng.Accountant().Spent(); math.IsNaN(s.Epsilon) || s.Epsilon != 0.5 {
+		t.Fatalf("spent ε=%v, want 0.5", s.Epsilon)
+	}
+}
+
+// TestDeltaBudgetNoAbsoluteSlack checks the budget tolerance is relative:
+// tiny δ budgets (the realistic range) cannot be overspent by a fixed
+// absolute slack.
+func TestDeltaBudgetNoAbsoluteSlack(t *testing.T) {
+	p := LinePolicy(8)
+	w := Histogram(8)
+	x := make([]float64, 8)
+	eng, err := Open(p, EngineOptions{Budget: Budget{Epsilon: 10, Delta: 1e-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(w, Options{Estimator: EstimatorGaussian, Delta: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One release would spend 10× the δ budget; it must be rejected.
+	if _, err := plan.Answer(x, 0.5, NewSource(1)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("10x delta overspend: got %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestTypedErrors covers the remaining sentinels.
+func TestTypedErrors(t *testing.T) {
+	// Disconnected policy.
+	p, err := SensitiveAttributePolicy([]int{2, 2}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Open(p, EngineOptions{})
+	if err != nil {
+		t.Fatalf("open disconnected (lazy branches): %v", err)
+	}
+	if _, err := eng.Prepare(Histogram(4), Options{}); !errors.Is(err, ErrDisconnectedPolicy) {
+		t.Fatalf("disconnected prepare: got %v, want ErrDisconnectedPolicy", err)
+	}
+	if _, err := Answer(Histogram(4), make([]float64, 4), p, 1, NewSource(1), Options{}); !errors.Is(err, ErrDisconnectedPolicy) {
+		t.Fatalf("disconnected legacy Answer: got %v, want ErrDisconnectedPolicy", err)
+	}
+	// Domain mismatches.
+	line := LinePolicy(8)
+	if _, err := Answer(Histogram(8), make([]float64, 9), line, 1, NewSource(1), Options{}); !errors.Is(err, ErrDomainMismatch) {
+		t.Fatalf("db size mismatch: got %v, want ErrDomainMismatch", err)
+	}
+	eng2, err := Open(line, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Prepare(Histogram(9), Options{}); !errors.Is(err, ErrDomainMismatch) {
+		t.Fatalf("workload mismatch: got %v, want ErrDomainMismatch", err)
+	}
+	plan, err := eng2.Prepare(Histogram(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Answer(make([]float64, 9), 1, NewSource(1)); !errors.Is(err, ErrDomainMismatch) {
+		t.Fatalf("plan db mismatch: got %v, want ErrDomainMismatch", err)
+	}
+	if _, err := plan.AnswerBatch([][]float64{make([]float64, 9)}, 1, NewSource(1)); !errors.Is(err, ErrDomainMismatch) {
+		t.Fatalf("batch db mismatch: got %v, want ErrDomainMismatch", err)
+	}
+}
+
+// TestEngineArtifactCaching checks Prepare reuses the Engine's compiled
+// transform: preparing many plans for one policy builds the transform once.
+func TestEngineArtifactCaching(t *testing.T) {
+	p := LinePolicy(64)
+	eng, err := Open(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := core.TransformBuilds()
+	for i := 0; i < 8; i++ {
+		if _, err := eng.Prepare(Histogram(64), Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr := core.TransformBuilds(); tr != t0 {
+		t.Fatalf("Prepare rebuilt transforms: %d -> %d", t0, tr)
+	}
+	// Theta override compiles a separate artifact, cached after first use.
+	pt, err := DistanceThresholdPolicy([]int{40}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engT, err := Open(pt, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engT.Prepare(AllRanges1D(40), Options{Theta: 4}); err != nil {
+		t.Fatal(err)
+	}
+	t1 := core.TransformBuilds()
+	if _, err := engT.Prepare(AllRanges1D(40), Options{Theta: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if tr := core.TransformBuilds(); tr != t1 {
+		t.Fatalf("theta-override artifact not cached: %d -> %d", t1, tr)
+	}
+}
+
+// TestPlanAlgorithmNames checks the plan reports the same strategy names
+// SelectAlgorithm always had.
+func TestPlanAlgorithmNames(t *testing.T) {
+	eng, err := Open(LinePolicy(8), EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(Histogram(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm() != "blowfish(tree)" {
+		t.Fatalf("plan algorithm %q", plan.Algorithm())
+	}
+	if plan.Queries() != 8 {
+		t.Fatalf("plan queries %d", plan.Queries())
+	}
+	src := NewSource(3)
+	engG, err := Open(GridPolicy(4), EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planG, err := engG.Prepare(RandomRangesKd([]int{4, 4}, 10, src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planG.Algorithm() != "Transformed + Privelet" {
+		t.Fatalf("grid plan algorithm %q", planG.Algorithm())
+	}
+}

@@ -1,0 +1,28 @@
+package blowfish
+
+import "errors"
+
+// Sentinel errors for the public API. Errors returned by Open, Prepare,
+// Answer and Plan methods wrap one of these where applicable, so callers
+// branch with errors.Is instead of string matching.
+var (
+	// ErrBudgetExhausted reports that a release would exceed the Engine's
+	// configured cumulative (ε, δ) budget. It is also returned for an
+	// eps <= 0 ("no noise") release through a budget-limited Engine, since
+	// an unnoised release discloses the database exactly.
+	ErrBudgetExhausted = errors.New("privacy budget exhausted")
+
+	// ErrDisconnectedPolicy reports a policy graph with more than one
+	// connected component; split it with SplitComponents (Appendix E) and
+	// open one Engine per component.
+	ErrDisconnectedPolicy = errors.New("policy is disconnected")
+
+	// ErrDomainMismatch reports a database or workload whose domain size
+	// disagrees with the policy's.
+	ErrDomainMismatch = errors.New("domain size mismatch")
+
+	// ErrInvalidOptions reports Options or EngineOptions that fail
+	// validation: a negative Theta, a negative Delta or budget, or
+	// EstimatorGaussian without a positive Delta.
+	ErrInvalidOptions = errors.New("invalid options")
+)

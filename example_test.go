@@ -1,0 +1,112 @@
+package blowfish_test
+
+import (
+	"errors"
+	"fmt"
+
+	blowfish "github.com/privacylab/blowfish"
+)
+
+// The examples below use eps <= 0 (noiseless test mode) or print only
+// derived facts, so their output is stable; see examples/ for runnable
+// programs with real noise.
+
+// ExampleOpen shows the compile-once Engine/Plan path: Open compiles the
+// policy transform, Prepare binds a workload to the selected strategy, and
+// Plan.Answer runs only the noise-and-reconstruct hot path.
+func ExampleOpen() {
+	k := 8
+	engine, err := blowfish.Open(blowfish.LinePolicy(k), blowfish.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	plan, err := engine.Prepare(blowfish.CumulativeHistogram(k), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	// eps <= 0 disables noise (test mode), so the release is exact.
+	out, err := plan.Answer(x, 0, blowfish.NewSource(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Algorithm(), out)
+	// Output: blowfish(tree) [3 4 8 9 14 23 25 31]
+}
+
+// ExampleEngine_Prepare prepares two workloads against one Engine; both
+// plans share the policy transform compiled by Open.
+func ExampleEngine_Prepare() {
+	engine, err := blowfish.Open(blowfish.LinePolicy(16), blowfish.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	hist, err := engine.Prepare(blowfish.Histogram(16), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	ranges, err := engine.Prepare(blowfish.AllRanges1D(16), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(hist.Algorithm(), hist.Queries())
+	fmt.Println(ranges.Algorithm(), ranges.Queries())
+	// Output:
+	// blowfish(tree) 16
+	// blowfish(tree) 136
+}
+
+// ExamplePlan_AnswerBatch releases one plan over several databases in one
+// call; noise streams are pre-split in serial order, so results match
+// sequential Answer calls.
+func ExamplePlan_AnswerBatch() {
+	engine, err := blowfish.Open(blowfish.LinePolicy(4), blowfish.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	plan, err := engine.Prepare(blowfish.Histogram(4), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	xs := [][]float64{
+		{1, 2, 3, 4},
+		{4, 3, 2, 1},
+	}
+	out, err := plan.AnswerBatch(xs, 0, blowfish.NewSource(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out[0])
+	fmt.Println(out[1])
+	// Output:
+	// [1 2 3 4]
+	// [4 3 2 1]
+}
+
+// ExampleAccountant shows budget enforcement: releases are charged under
+// sequential composition and rejected with ErrBudgetExhausted once the
+// configured (ε, δ) allowance is spent.
+func ExampleAccountant() {
+	engine, err := blowfish.Open(blowfish.LinePolicy(8), blowfish.EngineOptions{
+		Budget: blowfish.Budget{Epsilon: 1.0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	plan, err := engine.Prepare(blowfish.Histogram(8), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float64, 8)
+	src := blowfish.NewSource(7)
+	for i := 0; i < 3; i++ {
+		_, err := plan.Answer(x, 0.4, src.Split())
+		spent := engine.Accountant().Spent()
+		fmt.Printf("release %d: spent eps=%.1f, exhausted=%v\n",
+			i+1, spent.Epsilon, errors.Is(err, blowfish.ErrBudgetExhausted))
+	}
+	// Output:
+	// release 1: spent eps=0.4, exhausted=false
+	// release 2: spent eps=0.8, exhausted=false
+	// release 3: spent eps=0.8, exhausted=true
+}

@@ -4,6 +4,10 @@
 // attribute, and the sensitive-attribute policy of Appendix E for a
 // relational table.
 //
+// The sparse-histogram part shows the Engine/Plan shape for comparing
+// estimators: one Engine for the policy, one Plan per estimator, all
+// sharing the compiled transform.
+//
 //	go run ./examples/census
 package main
 
@@ -25,7 +29,13 @@ func main() {
 	src := blowfish.NewSource(3)
 	w := blowfish.Histogram(k)
 	truth := w.Answers(x)
-	line := blowfish.LinePolicy(k)
+
+	// One engine for the line policy; every estimator's plan reuses its
+	// compiled transform.
+	engine, err := blowfish.Open(blowfish.LinePolicy(k), blowfish.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
 
 	const eps = 0.1
 	for _, est := range []struct {
@@ -36,7 +46,11 @@ func main() {
 		{"Transformed + ConsistentEst", blowfish.EstimatorConsistent},
 		{"Trans + Dawa + Cons", blowfish.EstimatorDAWAConsistent},
 	} {
-		got, err := blowfish.Answer(w, x, line, eps, src.Split(), blowfish.Options{Estimator: est.e})
+		plan, err := engine.Prepare(w, blowfish.Options{Estimator: est.e})
+		if err != nil {
+			panic(err)
+		}
+		got, err := plan.Answer(x, eps, src.Split())
 		if err != nil {
 			panic(err)
 		}
@@ -67,9 +81,16 @@ func main() {
 	for ci, c := range comps {
 		local := c.Restrict(table)
 		// Each component is an independent 2-value Blowfish instance; its
-		// policy is connected, so the standard machinery answers it.
-		cw := blowfish.Histogram(len(local))
-		noisy, err := blowfish.Answer(cw, local, c.Transform.Policy, 1.0, src.Split(), blowfish.Options{})
+		// policy is connected, so one Engine per component answers it.
+		ce, err := blowfish.Open(c.Transform.Policy, blowfish.EngineOptions{})
+		if err != nil {
+			panic(err)
+		}
+		cp, err := ce.Prepare(blowfish.Histogram(len(local)), blowfish.Options{})
+		if err != nil {
+			panic(err)
+		}
+		noisy, err := cp.Answer(local, 1.0, src.Split())
 		if err != nil {
 			panic(err)
 		}

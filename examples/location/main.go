@@ -3,6 +3,9 @@
 // introduction. Revealing which part of town is busy is fine; whether a
 // person was at home or at the café next door is protected.
 //
+// The same query workload is prepared once per policy; each Plan.Answer is
+// an independent private release from the compiled strategy.
+//
 //	go run ./examples/location
 package main
 
@@ -31,18 +34,26 @@ func main() {
 	put(8, 8, 4000, 3)
 	put(24, 20, 2500, 2)
 
-	// Policy: cells within L1 distance 1 are indistinguishable (θ=1 grid).
-	// Larger θ widens the protected neighborhood; try θ=4 below.
-	grid := blowfish.GridPolicy(side)
 	src := blowfish.NewSource(7)
 	queries := blowfish.RandomRangesKd(dims, 2000, src.Split())
+	truth := queries.Answers(x)
 
-	const eps = 0.5
-	answers, err := blowfish.Answer(queries, x, grid, eps, src.Split(), blowfish.Options{})
+	// Policy: cells within L1 distance 1 are indistinguishable (θ=1 grid).
+	// Larger θ widens the protected neighborhood; see θ=4 below.
+	gridEngine, err := blowfish.Open(blowfish.GridPolicy(side), blowfish.EngineOptions{})
 	if err != nil {
 		panic(err)
 	}
-	truth := queries.Answers(x)
+	gridPlan, err := gridEngine.Prepare(queries, blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	const eps = 0.5
+	answers, err := gridPlan.Answer(x, eps, src.Split())
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("grid policy G^1 (theta=1): per-query MSE = %.1f\n", mse(answers, truth))
 
 	// A wider protected neighborhood via a distance-threshold policy.
@@ -50,7 +61,15 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	answers4, err := blowfish.Answer(queries, x, theta4, eps, src.Split(), blowfish.Options{})
+	theta4Engine, err := blowfish.Open(theta4, blowfish.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	theta4Plan, err := theta4Engine.Prepare(queries, blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	answers4, err := theta4Plan.Answer(x, eps, src.Split())
 	if err != nil {
 		panic(err)
 	}

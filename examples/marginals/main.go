@@ -3,6 +3,9 @@
 // the general-dimension Theorem 5.4 strategy, and compare with the
 // (ε, δ)-Gaussian tree pipeline of the Appendix A extension.
 //
+// A single Engine serves both marginal workloads (one Plan each), and the
+// δ spend of the Gaussian release is tracked by its engine's Accountant.
+//
 //	go run ./examples/marginals
 package main
 
@@ -34,8 +37,12 @@ func main() {
 	}
 
 	// Policy: L1-adjacent cells indistinguishable — a record's exact bin is
-	// protected, its neighborhood is not.
+	// protected, its neighborhood is not. One Engine serves every marginal.
 	pol, err := blowfish.DistanceThresholdPolicy(dims, 1)
+	if err != nil {
+		panic(err)
+	}
+	engine, err := blowfish.Open(pol, blowfish.EngineOptions{})
 	if err != nil {
 		panic(err)
 	}
@@ -46,7 +53,11 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	got, err := blowfish.Answer(m2, x, pol, eps, src.Split(), blowfish.Options{})
+	plan2, err := engine.Prepare(m2, blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	got, err := plan2.Answer(x, eps, src.Split())
 	if err != nil {
 		panic(err)
 	}
@@ -54,12 +65,16 @@ func main() {
 	fmt.Printf("(age,income) marginal: %d cells, per-cell MSE %.2f under G^1_{k^3}\n",
 		m2.Len(), mse(got, truth))
 
-	// One-way region marginal.
+	// One-way region marginal, through the same engine.
 	m1, err := blowfish.Marginals(dims, []bool{false, false, true})
 	if err != nil {
 		panic(err)
 	}
-	got1, err := blowfish.Answer(m1, x, pol, eps, src.Split(), blowfish.Options{})
+	plan1, err := engine.Prepare(m1, blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	got1, err := plan1.Answer(x, eps, src.Split())
 	if err != nil {
 		panic(err)
 	}
@@ -70,17 +85,28 @@ func main() {
 	}
 
 	// Appendix A extension: (ε, δ)-Blowfish with Gaussian noise on a tree
-	// policy. Flatten to an ordered 1-D view for a line policy demo.
-	line := blowfish.LinePolicy(k)
+	// policy. Flatten to an ordered 1-D view for a line policy demo; the
+	// Accountant tracks the (ε, δ) spend.
+	lineEngine, err := blowfish.Open(blowfish.LinePolicy(k), blowfish.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
 	hist := blowfish.Histogram(k)
-	gauss, err := blowfish.Answer(hist, x, line, eps, src.Split(), blowfish.Options{
+	gaussPlan, err := lineEngine.Prepare(hist, blowfish.Options{
 		Estimator: blowfish.EstimatorGaussian, Delta: 1e-6,
 	})
 	if err != nil {
 		panic(err)
 	}
+	gauss, err := gaussPlan.Answer(x, eps, src.Split())
+	if err != nil {
+		panic(err)
+	}
+	spent := lineEngine.Accountant().Spent()
 	fmt.Printf("\n(eps, delta)-Gaussian histogram release: per-cell MSE %.1f at delta=1e-6\n",
 		mse(gauss, hist.Answers(x)))
+	fmt.Printf("accountant: spent (eps=%g, delta=%g) across %d release(s)\n",
+		spent.Epsilon, spent.Delta, lineEngine.Accountant().Releases())
 }
 
 func mse(a, b []float64) float64 {

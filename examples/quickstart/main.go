@@ -1,9 +1,14 @@
-// Quickstart: publish a private histogram under a Blowfish line policy.
+// Quickstart: publish a private histogram under a Blowfish line policy
+// through the Engine/Plan API.
 //
 // The database is a histogram of binned salaries. Under the line policy
 // G¹_k an adversary may learn a record's rough salary range but not
 // distinguish adjacent bins — a weaker promise than differential privacy
 // that buys dramatically more accuracy.
+//
+// An Engine compiles the policy transform once; a Plan binds a workload to
+// the selected strategy once; Plan.Answer is the per-release hot path and
+// the Engine's Accountant tracks cumulative (ε, δ) spend.
 //
 //	go run ./examples/quickstart
 package main
@@ -24,21 +29,39 @@ func main() {
 		x[i] = math.Round(400 * math.Exp(-d*d/120))
 	}
 
-	policy := blowfish.LinePolicy(k)
-	w := blowfish.Histogram(k)
-	src := blowfish.NewSource(42)
-
-	const eps = 0.5
-	noisy, err := blowfish.Answer(w, x, policy, eps, src, blowfish.Options{
+	// Compile the line policy once, with a total privacy budget of ε=1.
+	engine, err := blowfish.Open(blowfish.LinePolicy(k), blowfish.EngineOptions{
+		Budget: blowfish.Budget{Epsilon: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Bind the histogram workload to the selected strategy once.
+	plan, err := engine.Prepare(blowfish.Histogram(k), blowfish.Options{
 		Estimator: blowfish.EstimatorConsistent, // prefix sums are monotone: project back
 	})
 	if err != nil {
 		panic(err)
 	}
 
+	src := blowfish.NewSource(42)
+	const eps = 0.5
+	noisy, err := plan.Answer(x, eps, src)
+	if err != nil {
+		panic(err)
+	}
+
 	// Compare against standard differential privacy at the same budget:
-	// per-bin Laplace(1/eps) noise.
-	dpNoisy, err := blowfish.Answer(w, x, blowfish.UnboundedPolicy(k), eps, src, blowfish.Options{})
+	// per-bin Laplace(1/eps) noise, through its own engine.
+	dpEngine, err := blowfish.Open(blowfish.UnboundedPolicy(k), blowfish.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	dpPlan, err := dpEngine.Prepare(blowfish.Histogram(k), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	dpNoisy, err := dpPlan.Answer(x, eps, src)
 	if err != nil {
 		panic(err)
 	}
@@ -49,6 +72,12 @@ func main() {
 	}
 	fmt.Printf("\ntotal squared error: blowfish=%.0f  dp=%.0f\n",
 		sqErr(noisy, x), sqErr(dpNoisy, x))
+
+	// The accountant has charged the release; half the ε=1 budget remains.
+	spent := engine.Accountant().Spent()
+	remaining, _ := engine.Accountant().Remaining()
+	fmt.Printf("\nbudget: spent eps=%.2f, remaining eps=%.2f\n", spent.Epsilon, remaining.Epsilon)
+
 	fmt.Println("\nThe Blowfish release uses the transformational equivalence:")
 	fmt.Println("the line policy's transform is the prefix-sum vector, whose")
 	fmt.Println("sensitivity is 1, and consistency post-processing exploits its")

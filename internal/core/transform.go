@@ -10,6 +10,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/privacylab/blowfish/internal/graph"
 	"github.com/privacylab/blowfish/internal/linalg"
@@ -17,6 +19,14 @@ import (
 	"github.com/privacylab/blowfish/internal/policy"
 	"github.com/privacylab/blowfish/internal/workload"
 )
+
+// transformBuilds counts Transform constructions process-wide. Plan-reuse
+// tests assert it stays flat across repeated releases through a compiled
+// plan; the legacy per-call path bumps it on every Answer.
+var transformBuilds atomic.Int64
+
+// TransformBuilds returns the number of Transforms constructed so far.
+func TransformBuilds() int64 { return transformBuilds.Load() }
 
 // Transform carries the transformational-equivalence data for one connected
 // policy graph. Columns of P_G are the policy edges in the order of
@@ -36,6 +46,20 @@ type Transform struct {
 	// isTree caches whether the policy graph is a tree, enabling the exact
 	// all-mechanism equivalence of Theorem 4.3 and the fast x_G path.
 	isTree bool
+	// layout is the memoized rooted-tree layout behind the O(k) x_G fast
+	// path, computed once at construction so repeated DatabaseTransform calls
+	// (and concurrent ones — it is read-only afterwards) skip the BFS.
+	layout *treeLayout
+	// pinvOnce/pinv memoize the dense Moore–Penrose right inverse of P_G
+	// used by the non-tree DatabaseTransform fallback.
+	pinvOnce sync.Once
+	pinv     *linalg.Matrix
+	pinvErr  error
+}
+
+// treeLayout is the rooted parent structure of a tree policy graph.
+type treeLayout struct {
+	parent, parentEdge, order []int
 }
 
 // New builds the transform for a connected policy. For bounded policies
@@ -72,12 +96,21 @@ func newTransform(p *policy.Policy, alias int) (*Transform, error) {
 	if p.HasBottom {
 		root = p.Bottom()
 	}
-	return &Transform{
+	t := &Transform{
 		Policy: p,
 		Alias:  alias,
 		root:   root,
 		isTree: p.G.IsTree(),
-	}, nil
+	}
+	if t.isTree {
+		parent, parentEdge, order, err := p.G.RootedParents(root)
+		if err != nil {
+			return nil, fmt.Errorf("core: tree layout: %w", err)
+		}
+		t.layout = &treeLayout{parent: parent, parentEdge: parentEdge, order: order}
+	}
+	transformBuilds.Add(1)
+	return t, nil
 }
 
 // NumEdges returns the edge-domain dimension |E| (the number of columns of
@@ -222,12 +255,13 @@ func (t *Transform) DatabaseTransform(x []float64) ([]float64, error) {
 	if t.isTree {
 		return t.treeDatabaseTransform(x), nil
 	}
-	pg := t.PG()
-	pinv, err := linalg.RightInverse(pg)
-	if err != nil {
-		return nil, fmt.Errorf("core: DatabaseTransform: %w", err)
+	t.pinvOnce.Do(func() {
+		t.pinv, t.pinvErr = linalg.RightInverse(t.PG())
+	})
+	if t.pinvErr != nil {
+		return nil, fmt.Errorf("core: DatabaseTransform: %w", t.pinvErr)
 	}
-	return linalg.MulVec(pinv, t.ReducedDatabase(x)), nil
+	return linalg.MulVec(t.pinv, t.ReducedDatabase(x)), nil
 }
 
 // treeDatabaseTransform computes x_G for a tree policy: the value on each
@@ -235,10 +269,7 @@ func (t *Transform) DatabaseTransform(x []float64) ([]float64, error) {
 // ⊥/alias), signed by the edge orientation. This solves P_G·x_G = x exactly.
 func (t *Transform) treeDatabaseTransform(x []float64) []float64 {
 	g := t.Policy.G
-	parent, parentEdge, order, err := g.RootedParents(t.root)
-	if err != nil {
-		panic(fmt.Sprintf("core: tree transform on non-tree: %v", err)) // guarded by isTree
-	}
+	parent, parentEdge, order := t.layout.parent, t.layout.parentEdge, t.layout.order
 	down := make([]float64, g.N)
 	for v := 0; v < g.N; v++ {
 		if t.Policy.HasBottom && v == t.Policy.Bottom() {

@@ -87,7 +87,7 @@ func TestGrid2DReconstructionMatchesTransformedWorkload(t *testing.T) {
 func TestThetaGridInternalPiecesMatchCoefficients(t *testing.T) {
 	dims := []int{7, 6}
 	theta := 4
-	s, _, err := newThetaGrid2D(dims, theta, 0, noise.NewSource(1))
+	s, err := newThetaLayout2D(dims, theta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestThetaGridInternalPiecesMatchCoefficients(t *testing.T) {
 // internal piece is bounded by the cube side in its assigned dimension.
 func TestThetaGridPiecesAreThin(t *testing.T) {
 	dims := []int{9, 9}
-	s, _, err := newThetaGrid2D(dims, 6, 0, noise.NewSource(2)) // cell = 3
+	s, err := newThetaLayout2D(dims, 6) // cell = 3
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -77,31 +77,44 @@ func GridPolicyRange2D(dims []int, kind mech.OracleKind) Algorithm {
 	case mech.HierKind:
 		name = "Transformed + Hierarchical"
 	}
-	return Algorithm{
-		Name: name,
-		Run: func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error) {
-			if len(dims) != 2 {
-				return nil, fmt.Errorf("strategy: GridPolicyRange2D wants a 2-D grid, got dims %v", dims)
-			}
-			rows, cols := dims[0], dims[1]
-			if rows*cols != w.K {
-				return nil, fmt.Errorf("strategy: grid %dx%d != workload domain %d", rows, cols, w.K)
-			}
-			if err := checkDomain(w, x); err != nil {
-				return nil, err
-			}
-			s := newGrid2DStrategy(rows, cols, kind, eps, src)
-			table := workload.SummedAreaTable(dims, x)
-			out := make([]float64, w.Len())
-			for i, q := range w.Queries {
-				rq, ok := q.(workload.RangeKd)
-				if !ok || len(rq.Lo) != 2 {
-					return nil, fmt.Errorf("strategy: GridPolicyRange2D wants 2-D RangeKd queries, got %T", q)
-				}
-				out[i] = workload.EvalRangeKd(dims, table, rq) +
-					s.queryNoise(rq.Lo[0], rq.Hi[0], rq.Lo[1], rq.Hi[1])
-			}
-			return out, nil
-		},
+	return compiled(name, func(w *workload.Workload) (*Prepared, error) {
+		return CompileGridRange2D(name, dims, kind, w)
+	})
+}
+
+// CompileGridRange2D compiles the Theorem 5.4 strategy (d = 2) for one
+// workload: query rectangles are validated and unpacked once. The hot path
+// draws the per-line oracles (the only per-release randomness), builds the
+// summed-area table, and reads off the ≤4 boundary runs per query.
+func CompileGridRange2D(name string, dims []int, kind mech.OracleKind, w *workload.Workload) (*Prepared, error) {
+	if len(dims) != 2 {
+		return nil, fmt.Errorf("strategy: GridPolicyRange2D wants a 2-D grid, got dims %v", dims)
 	}
+	rows, cols := dims[0], dims[1]
+	if rows*cols != w.K {
+		return nil, fmt.Errorf("strategy: grid %dx%d != workload domain %d", rows, cols, w.K)
+	}
+	rects := make([]workload.RangeKd, w.Len())
+	for i, q := range w.Queries {
+		rq, ok := q.(workload.RangeKd)
+		if !ok || len(rq.Lo) != 2 {
+			return nil, fmt.Errorf("strategy: GridPolicyRange2D wants 2-D RangeKd queries, got %T", q)
+		}
+		rects[i] = rq
+	}
+	compilations.Add(1)
+	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
+		if err := checkDomain(w, x); err != nil {
+			return nil, err
+		}
+		s := newGrid2DStrategy(rows, cols, kind, eps, src)
+		table := workload.SummedAreaTable(dims, x)
+		out := make([]float64, len(rects))
+		for i, rq := range rects {
+			out[i] = workload.EvalRangeKd(dims, table, rq) +
+				s.queryNoise(rq.Lo[0], rq.Hi[0], rq.Lo[1], rq.Hi[1])
+		}
+		return out, nil
+	}
+	return &Prepared{Name: name, answer: answer}, nil
 }

@@ -29,46 +29,63 @@ import (
 // two families split the internal budget (the paper's ε/d), while external
 // lines are disjoint from everything and use the full budget. All of it runs
 // at ε/stretch per Lemma 4.5.
+//
+// The strategy splits compile-time from release-time data: thetaLayout2D
+// (spanner geometry, per-query lattice intervals and piece decompositions)
+// is computed once per plan, while the oracles — the only randomness — are
+// drawn per release by noised.
 
-type thetaGrid2D struct {
+// thetaLayout2D is the compile-time geometry of the strategy for one grid.
+type thetaLayout2D struct {
 	rows, cols int
 	cell       int
 	redRows    int // lattice height
 	redCols    int // lattice width
-	external   *grid2DStrategy
-	rowBands   []*mech.PriveletKd // band b covers rows [b·cell, …]
-	colBands   []*mech.PriveletKd
+	stretch    int
 }
 
-func newThetaGrid2D(dims []int, theta int, eps float64, src *noise.Source) (*thetaGrid2D, int, error) {
+func newThetaLayout2D(dims []int, theta int) (*thetaLayout2D, error) {
 	sp, err := policy.GridSpanner(dims, theta)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	rows, cols := dims[0], dims[1]
-	s := &thetaGrid2D{rows: rows, cols: cols, cell: sp.Cell,
-		redRows: sp.RedDims[0], redCols: sp.RedDims[1]}
+	return &thetaLayout2D{rows: dims[0], cols: dims[1], cell: sp.Cell,
+		redRows: sp.RedDims[0], redCols: sp.RedDims[1], stretch: sp.Stretch}, nil
+}
+
+// noised draws the per-release oracles at budget eps (spent at ε/stretch per
+// Lemma 4.5), in the fixed order external lines, row bands, column bands.
+func (lay *thetaLayout2D) noised(eps float64, src *noise.Source) *thetaGrid2D {
+	s := &thetaGrid2D{thetaLayout2D: *lay}
 	effEps := eps
 	if eps > 0 {
-		effEps = core.EffectiveEpsilon(eps, sp.Stretch)
+		effEps = core.EffectiveEpsilon(eps, lay.stretch)
 	}
 	// External: disjoint red-lattice lines, full effective budget each.
-	s.external = newGrid2DStrategy(s.redRows, s.redCols, mech.PriveletKind, effEps, src)
+	s.external = newGrid2DStrategy(lay.redRows, lay.redCols, mech.PriveletKind, effEps, src)
 	// Internal: two overlapping band families (rows, columns) sharing the
 	// budget. With cell == 1 every vertex is red and there are no internal
 	// edges at all.
-	if s.cell > 1 {
+	if lay.cell > 1 {
 		half := effEps / 2
-		for r0 := 0; r0 < rows; r0 += s.cell {
-			h := minInt2(s.cell, rows-r0)
-			s.rowBands = append(s.rowBands, mech.NewPriveletKd([]int{h, cols}, half, src))
+		for r0 := 0; r0 < lay.rows; r0 += lay.cell {
+			h := minInt2(lay.cell, lay.rows-r0)
+			s.rowBands = append(s.rowBands, mech.NewPriveletKd([]int{h, lay.cols}, half, src))
 		}
-		for c0 := 0; c0 < cols; c0 += s.cell {
-			w := minInt2(s.cell, cols-c0)
-			s.colBands = append(s.colBands, mech.NewPriveletKd([]int{rows, w}, half, src))
+		for c0 := 0; c0 < lay.cols; c0 += lay.cell {
+			w := minInt2(lay.cell, lay.cols-c0)
+			s.colBands = append(s.colBands, mech.NewPriveletKd([]int{lay.rows, w}, half, src))
 		}
 	}
-	return s, sp.Stretch, nil
+	return s
+}
+
+// thetaGrid2D is one release's noised strategy: the layout plus its oracles.
+type thetaGrid2D struct {
+	thetaLayout2D
+	external *grid2DStrategy
+	rowBands []*mech.PriveletKd // band b covers rows [b·cell, …]
+	colBands []*mech.PriveletKd
 }
 
 // latticeInterval returns the lattice coordinates [A1, A2] of red positions
@@ -109,17 +126,17 @@ type piece struct {
 	thinRows bool
 }
 
-func (s *thetaGrid2D) internalPieces(q rect) []piece {
-	a1Lat, a2Lat := latticeInterval(q.r1, q.r2, s.cell, s.rows, s.redRows)
-	b1Lat, b2Lat := latticeInterval(q.c1, q.c2, s.cell, s.cols, s.redCols)
+func (lay *thetaLayout2D) internalPieces(q rect) []piece {
+	a1Lat, a2Lat := latticeInterval(q.r1, q.r2, lay.cell, lay.rows, lay.redRows)
+	b1Lat, b2Lat := latticeInterval(q.c1, q.c2, lay.cell, lay.cols, lay.redCols)
 	if a1Lat > a2Lat || b1Lat > b2Lat {
 		// No red vertex inside Q: R is empty and Q itself is thin in every
 		// empty dimension.
 		thinRows := a1Lat > a2Lat
 		return []piece{{rect: q, sign: 1, thinRows: thinRows}}
 	}
-	a1, a2 := preimageInterval(a1Lat, a2Lat, s.cell, s.rows)
-	b1, b2 := preimageInterval(b1Lat, b2Lat, s.cell, s.cols)
+	a1, a2 := preimageInterval(a1Lat, a2Lat, lay.cell, lay.rows)
+	b1, b2 := preimageInterval(b1Lat, b2Lat, lay.cell, lay.cols)
 	// Invariants from the construction: a1 ≤ q.r1, a2 ≤ q.r2 (R is shifted
 	// up-left), and the overlap O = [q.r1, a2] × [q.c1, b2] is nonempty.
 	pieces := []piece{
@@ -166,56 +183,77 @@ func (s *thetaGrid2D) internalNoise(p piece) float64 {
 	return p.sign * total
 }
 
-// queryNoise assembles the full transformed-query noise.
-func (s *thetaGrid2D) queryNoise(q rect) float64 {
-	var n float64
-	// External component over the red lattice.
-	a1, a2 := latticeInterval(q.r1, q.r2, s.cell, s.rows, s.redRows)
-	b1, b2 := latticeInterval(q.c1, q.c2, s.cell, s.cols, s.redCols)
-	if a1 <= a2 && b1 <= b2 {
-		n += s.external.queryNoise(a1, a2, b1, b2)
-	}
-	// Internal component.
-	if s.cell > 1 {
-		for _, p := range s.internalPieces(q) {
-			n += s.internalNoise(p)
-		}
-	}
-	return n
+// thetaQueryPlan is one query's precompiled decomposition: the external
+// red-lattice rectangle (when nonempty) and the signed internal pieces.
+type thetaQueryPlan struct {
+	rq             workload.RangeKd
+	hasExt         bool
+	a1, a2, b1, b2 int
+	pieces         []piece
 }
 
 // ThetaGridRange2D returns the Theorem 5.6 algorithm for 2-D range queries
 // under G^θ_{k²}.
 func ThetaGridRange2D(dims []int, theta int) Algorithm {
-	return Algorithm{
-		Name: fmt.Sprintf("Transformed + Privelet (theta=%d)", theta),
-		Run: func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error) {
-			if len(dims) != 2 {
-				return nil, fmt.Errorf("strategy: ThetaGridRange2D wants 2-D dims, got %v", dims)
-			}
-			if dims[0]*dims[1] != w.K {
-				return nil, fmt.Errorf("strategy: grid %v != workload domain %d", dims, w.K)
-			}
-			if err := checkDomain(w, x); err != nil {
-				return nil, err
-			}
-			s, _, err := newThetaGrid2D(dims, theta, eps, src)
-			if err != nil {
-				return nil, err
-			}
-			table := workload.SummedAreaTable(dims, x)
-			out := make([]float64, w.Len())
-			for i, q := range w.Queries {
-				rq, ok := q.(workload.RangeKd)
-				if !ok || len(rq.Lo) != 2 {
-					return nil, fmt.Errorf("strategy: ThetaGridRange2D wants 2-D RangeKd queries, got %T", q)
-				}
-				out[i] = workload.EvalRangeKd(dims, table, rq) +
-					s.queryNoise(rect{rq.Lo[0], rq.Hi[0], rq.Lo[1], rq.Hi[1]})
-			}
-			return out, nil
-		},
+	name := fmt.Sprintf("Transformed + Privelet (theta=%d)", theta)
+	return compiled(name, func(w *workload.Workload) (*Prepared, error) {
+		return CompileThetaGridRange2D(name, dims, theta, w)
+	})
+}
+
+// CompileThetaGridRange2D compiles the Theorem 5.6 strategy for one
+// workload: the spanner geometry and every query's lattice interval and
+// piece decomposition are computed once; the hot path draws the oracles,
+// builds the summed-area table and assembles the precompiled terms.
+func CompileThetaGridRange2D(name string, dims []int, theta int, w *workload.Workload) (*Prepared, error) {
+	if len(dims) != 2 {
+		return nil, fmt.Errorf("strategy: ThetaGridRange2D wants 2-D dims, got %v", dims)
 	}
+	if dims[0]*dims[1] != w.K {
+		return nil, fmt.Errorf("strategy: grid %v != workload domain %d", dims, w.K)
+	}
+	lay, err := newThetaLayout2D(dims, theta)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]thetaQueryPlan, w.Len())
+	for i, q := range w.Queries {
+		rq, ok := q.(workload.RangeKd)
+		if !ok || len(rq.Lo) != 2 {
+			return nil, fmt.Errorf("strategy: ThetaGridRange2D wants 2-D RangeKd queries, got %T", q)
+		}
+		qr := rect{rq.Lo[0], rq.Hi[0], rq.Lo[1], rq.Hi[1]}
+		qp := &plans[i]
+		qp.rq = rq
+		qp.a1, qp.a2 = latticeInterval(qr.r1, qr.r2, lay.cell, lay.rows, lay.redRows)
+		qp.b1, qp.b2 = latticeInterval(qr.c1, qr.c2, lay.cell, lay.cols, lay.redCols)
+		qp.hasExt = qp.a1 <= qp.a2 && qp.b1 <= qp.b2
+		if lay.cell > 1 {
+			qp.pieces = lay.internalPieces(qr)
+		}
+	}
+	compilations.Add(1)
+	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
+		if err := checkDomain(w, x); err != nil {
+			return nil, err
+		}
+		s := lay.noised(eps, src)
+		table := workload.SummedAreaTable(dims, x)
+		out := make([]float64, len(plans))
+		for i := range plans {
+			qp := &plans[i]
+			var n float64
+			if qp.hasExt {
+				n += s.external.queryNoise(qp.a1, qp.a2, qp.b1, qp.b2)
+			}
+			for _, p := range qp.pieces {
+				n += s.internalNoise(p)
+			}
+			out[i] = workload.EvalRangeKd(dims, table, qp.rq) + n
+		}
+		return out, nil
+	}
+	return &Prepared{Name: name, answer: answer}, nil
 }
 
 func minInt2(a, b int) int {

@@ -120,35 +120,48 @@ func (s *gridKdStrategy) queryVariance(lo, hi []int) float64 {
 // GridPolicyRangeKd returns the Theorem 5.4 algorithm for d-dimensional
 // range queries under G¹_{k^d}, for any d ≥ 1.
 func GridPolicyRangeKd(dims []int) Algorithm {
-	return Algorithm{
-		Name: fmt.Sprintf("Transformed + Privelet (d=%d)", len(dims)),
-		Run: func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error) {
-			k := 1
-			for _, v := range dims {
-				if v < 2 {
-					return nil, fmt.Errorf("strategy: GridPolicyRangeKd needs every dimension >= 2, got %v", dims)
-				}
-				k *= v
-			}
-			if k != w.K {
-				return nil, fmt.Errorf("strategy: grid %v != workload domain %d", dims, w.K)
-			}
-			if err := checkDomain(w, x); err != nil {
-				return nil, err
-			}
-			s := newGridKdStrategy(dims, eps, src)
-			table := workload.SummedAreaTable(dims, x)
-			out := make([]float64, w.Len())
-			for i, q := range w.Queries {
-				rq, ok := q.(workload.RangeKd)
-				if !ok || len(rq.Lo) != len(dims) {
-					return nil, fmt.Errorf("strategy: GridPolicyRangeKd wants %d-D RangeKd queries, got %T", len(dims), q)
-				}
-				out[i] = workload.EvalRangeKd(dims, table, rq) + s.queryNoise(rq.Lo, rq.Hi)
-			}
-			return out, nil
-		},
+	name := fmt.Sprintf("Transformed + Privelet (d=%d)", len(dims))
+	return compiled(name, func(w *workload.Workload) (*Prepared, error) {
+		return CompileGridRangeKd(name, dims, w)
+	})
+}
+
+// CompileGridRangeKd compiles the general-dimension Theorem 5.4 strategy
+// for one workload; the hot path draws the per-sheet oracles, builds the
+// summed-area table and reads the 2d boundary faces per query.
+func CompileGridRangeKd(name string, dims []int, w *workload.Workload) (*Prepared, error) {
+	k := 1
+	for _, v := range dims {
+		if v < 2 {
+			return nil, fmt.Errorf("strategy: GridPolicyRangeKd needs every dimension >= 2, got %v", dims)
+		}
+		k *= v
 	}
+	if k != w.K {
+		return nil, fmt.Errorf("strategy: grid %v != workload domain %d", dims, w.K)
+	}
+	rects := make([]workload.RangeKd, w.Len())
+	for i, q := range w.Queries {
+		rq, ok := q.(workload.RangeKd)
+		if !ok || len(rq.Lo) != len(dims) {
+			return nil, fmt.Errorf("strategy: GridPolicyRangeKd wants %d-D RangeKd queries, got %T", len(dims), q)
+		}
+		rects[i] = rq
+	}
+	compilations.Add(1)
+	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
+		if err := checkDomain(w, x); err != nil {
+			return nil, err
+		}
+		s := newGridKdStrategy(dims, eps, src)
+		table := workload.SummedAreaTable(dims, x)
+		out := make([]float64, len(rects))
+		for i, rq := range rects {
+			out[i] = workload.EvalRangeKd(dims, table, rq) + s.queryNoise(rq.Lo, rq.Hi)
+		}
+		return out, nil
+	}
+	return &Prepared{Name: name, answer: answer}, nil
 }
 
 // GridPolicyRangeKdVariance returns the analytic per-query error of the

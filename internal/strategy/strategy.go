@@ -22,9 +22,16 @@ import (
 // database with privacy budget eps. Every experiment in internal/eval runs a
 // list of Algorithms side by side. The convention eps <= 0 means "no noise";
 // tests use it to check that every algorithm is exact modulo its noise.
+//
+// Run recompiles the strategy on every call — the original per-call
+// behavior, kept for compatibility. Prepare, when non-nil, compiles the
+// strategy for a workload once; the returned Prepared answers repeated
+// releases (bitwise identically to Run) without recompiling, and is what
+// the public Engine/Plan API and the experiment grid use.
 type Algorithm struct {
-	Name string
-	Run  func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error)
+	Name    string
+	Run     func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error)
+	Prepare func(w *workload.Workload) (*Prepared, error)
 }
 
 // Estimator produces a private estimate of a transformed database vector
@@ -63,43 +70,78 @@ func DawaConsistentEstimator(xg []float64, eps float64, src *noise.Source) []flo
 // 1 when the tree is the policy itself), and evaluate each transformed query
 // against the estimate plus the Lemma 4.10 constant correction.
 func TreePolicy(name string, tr *core.Transform, stretch int, est Estimator) Algorithm {
-	return Algorithm{
-		Name: name,
-		Run: func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error) {
-			if !tr.IsTree() {
-				return nil, fmt.Errorf("strategy: %s: policy %q is not a tree", name, tr.Policy.Name)
-			}
-			if w.K != tr.Policy.K {
-				return nil, fmt.Errorf("strategy: %s: workload domain %d != policy domain %d", name, w.K, tr.Policy.K)
-			}
-			if err := checkDomain(w, x); err != nil {
-				return nil, err
-			}
-			xg, err := tr.DatabaseTransform(x)
-			if err != nil {
-				return nil, err
-			}
-			effEps := eps
-			if eps > 0 {
-				effEps = core.EffectiveEpsilon(eps, stretch)
-			}
-			xge := est(xg, effEps, src)
-			n := sum(x)
-			sup := newSupportIndex(tr)
-			out := make([]float64, w.Len())
-			for i, q := range w.Queries {
-				v := tr.ConstantCorrection(q, n)
-				for _, j := range sup.edges(q) {
-					e := tr.Policy.G.Edges[j]
-					if c := tr.QueryCoeffOnEdge(q, e); c != 0 {
-						v += c * xge[j]
-					}
-				}
-				out[i] = v
-			}
-			return out, nil
-		},
+	return compiled(name, func(w *workload.Workload) (*Prepared, error) {
+		return CompileTree(name, tr, stretch, est, w)
+	})
+}
+
+// treeQueryPlan is one query's precompiled reconstruction: the support-edge
+// coefficient list in the exact order the per-call path discovers it (so the
+// float accumulation is bitwise identical) plus the Lemma 4.10 alias term.
+type treeQueryPlan struct {
+	hasAlias   bool
+	aliasCoeff float64
+	edges      []int
+	coeffs     []float64
+}
+
+// CompileTree compiles the Theorem 4.3 tree strategy for one workload: the
+// per-query transformed supports and alias corrections are computed once, so
+// the hot path is only x_G (O(k) over the memoized layout), one estimator
+// call, and a sparse reconstruction.
+func CompileTree(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload) (*Prepared, error) {
+	if !tr.IsTree() {
+		return nil, fmt.Errorf("strategy: %s: policy %q is not a tree", name, tr.Policy.Name)
 	}
+	if w.K != tr.Policy.K {
+		return nil, fmt.Errorf("strategy: %s: workload domain %d != policy domain %d", name, w.K, tr.Policy.K)
+	}
+	compilations.Add(1)
+	sup := newSupportIndex(tr)
+	edges := tr.Policy.G.Edges
+	plans := make([]treeQueryPlan, w.Len())
+	for i, q := range w.Queries {
+		qp := &plans[i]
+		if tr.Alias >= 0 {
+			qp.hasAlias = true
+			qp.aliasCoeff = q.Coeff(tr.Alias)
+		}
+		for _, j := range sup.edges(q) {
+			if c := tr.QueryCoeffOnEdge(q, edges[j]); c != 0 {
+				qp.edges = append(qp.edges, j)
+				qp.coeffs = append(qp.coeffs, c)
+			}
+		}
+	}
+	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
+		if err := checkDomain(w, x); err != nil {
+			return nil, err
+		}
+		xg, err := tr.DatabaseTransform(x)
+		if err != nil {
+			return nil, err
+		}
+		effEps := eps
+		if eps > 0 {
+			effEps = core.EffectiveEpsilon(eps, stretch)
+		}
+		xge := est(xg, effEps, src)
+		n := sum(x)
+		out := make([]float64, len(plans))
+		for i := range plans {
+			qp := &plans[i]
+			var v float64
+			if qp.hasAlias {
+				v = qp.aliasCoeff * n
+			}
+			for t, j := range qp.edges {
+				v += qp.coeffs[t] * xge[j]
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	return &Prepared{Name: name, answer: answer}, nil
 }
 
 // supportIndex narrows the edges that can carry nonzero transformed

@@ -124,43 +124,59 @@ type edgeRun struct {
 // "Transformed + Laplace" experimental variant but served group-wise).
 func ThetaLineGrouped(k, theta int, kind mech.OracleKind) Algorithm {
 	name := fmt.Sprintf("ThetaLine(%s)", oracleKindName(kind))
-	return Algorithm{
-		Name: name,
-		Run: func(w *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error) {
-			if w.K != k {
-				return nil, fmt.Errorf("strategy: ThetaLineGrouped domain %d != workload %d", k, w.K)
-			}
-			if err := checkDomain(w, x); err != nil {
-				return nil, err
-			}
-			lay, err := newThetaLineLayout(k, theta)
-			if err != nil {
-				return nil, err
-			}
-			effEps := eps
-			if eps > 0 {
-				effEps = core.EffectiveEpsilon(eps, lay.stretch)
-			}
-			oracles := make([]mech.Oracle, len(lay.groupSizes))
-			for g, sz := range lay.groupSizes {
-				oracles[g] = mech.NewOracle(kind, sz, effEps, src)
-			}
-			prefix := workload.PrefixSums(x)
-			out := make([]float64, w.Len())
-			for i, q := range w.Queries {
-				r, ok := q.(workload.Range1D)
-				if !ok {
-					return nil, fmt.Errorf("strategy: ThetaLineGrouped wants Range1D queries, got %T", q)
-				}
-				v := workload.EvalRange1D(prefix, r)
-				for _, run := range lay.runsForQuery(q) {
-					v += run.sign * oracles[run.group].IntervalNoise(run.lo, run.hi)
-				}
-				out[i] = v
-			}
-			return out, nil
-		},
+	return compiled(name, func(w *workload.Workload) (*Prepared, error) {
+		return CompileThetaLineGrouped(name, k, theta, kind, w)
+	})
+}
+
+// CompileThetaLineGrouped compiles the Theorem 5.5 strategy for one
+// workload: the spanner layout and each query's constant-sign runs are
+// computed once (also making the plan safe for concurrent releases — the
+// layout's support index scratch is only touched here), so the hot path is
+// group-oracle construction, prefix sums, and run lookups.
+func CompileThetaLineGrouped(name string, k, theta int, kind mech.OracleKind, w *workload.Workload) (*Prepared, error) {
+	if w.K != k {
+		return nil, fmt.Errorf("strategy: ThetaLineGrouped domain %d != workload %d", k, w.K)
 	}
+	lay, err := newThetaLineLayout(k, theta)
+	if err != nil {
+		return nil, err
+	}
+	ranges := make([]workload.Range1D, w.Len())
+	runs := make([][]edgeRun, w.Len())
+	for i, q := range w.Queries {
+		r, ok := q.(workload.Range1D)
+		if !ok {
+			return nil, fmt.Errorf("strategy: ThetaLineGrouped wants Range1D queries, got %T", q)
+		}
+		ranges[i] = r
+		runs[i] = lay.runsForQuery(q)
+	}
+	compilations.Add(1)
+	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
+		if err := checkDomain(w, x); err != nil {
+			return nil, err
+		}
+		effEps := eps
+		if eps > 0 {
+			effEps = core.EffectiveEpsilon(eps, lay.stretch)
+		}
+		oracles := make([]mech.Oracle, len(lay.groupSizes))
+		for g, sz := range lay.groupSizes {
+			oracles[g] = mech.NewOracle(kind, sz, effEps, src)
+		}
+		prefix := workload.PrefixSums(x)
+		out := make([]float64, len(ranges))
+		for i, r := range ranges {
+			v := workload.EvalRange1D(prefix, r)
+			for _, run := range runs[i] {
+				v += run.sign * oracles[run.group].IntervalNoise(run.lo, run.hi)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	return &Prepared{Name: name, answer: answer}, nil
 }
 
 func oracleKindName(kind mech.OracleKind) string {
