@@ -358,6 +358,71 @@ func BenchmarkPlanAnswerBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkAnswerSparse is the headline of the sparse operator layer: one
+// release of a 2000-query random-range workload on the domain-8192 line
+// policy, answered through a fully dense reconstruction matrix (what
+// Plan.Answer costs without density selection — a q×|E| matvec per release;
+// the tree strategies' coefficient lists were already O(nnz), so this is
+// the floor the operator layer guarantees for every strategy, not a
+// regression at HEAD) versus the Engine/Plan path whose compile step
+// selects the CSR operator (O(nnz) per release). Expected gap at this size
+// is >10×; ≥5× is the acceptance floor at GOMAXPROCS=4. Both paths compile
+// exactly once — the timed loops perform zero recompilations, asserted via
+// the strategy and transform counters.
+func BenchmarkAnswerSparse(b *testing.B) {
+	const k, queries = 8192, 2000
+	w := RandomRanges1D(k, queries, NewSource(21))
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = float64(i % 31)
+	}
+	src := noise.NewSource(22)
+	assertNoRecompiles := func(b *testing.B, run func()) {
+		b.Helper()
+		compiles, builds := strategy.Compilations(), core.TransformBuilds()
+		b.ResetTimer()
+		run()
+		b.StopTimer()
+		if strategy.Compilations() != compiles || core.TransformBuilds() != builds {
+			b.Fatal("timed loop recompiled the strategy or transform")
+		}
+	}
+	b.Run("dense-matvec", func(b *testing.B) {
+		tr, err := core.New(policy.Line(k))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prep, err := strategy.CompileTreeDense("blowfish(tree)", tr, 1, strategy.LaplaceEstimator, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		assertNoRecompiles(b, func() {
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Answer(x, 1.0, noise.NewSource(src.Int63())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("sparse-operator", func(b *testing.B) {
+		eng, err := Open(LinePolicy(k), EngineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := eng.Prepare(w, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		assertNoRecompiles(b, func() {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Answer(x, 1.0, NewSource(src.Int63())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
 // --- Micro-benchmarks of the hot substrates ---
 
 // BenchmarkDatabaseTransformLine measures the O(k) tree transform.

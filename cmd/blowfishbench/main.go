@@ -12,7 +12,8 @@
 //	blowfishbench -exp fig3 -parallel 8     # 8 measurement workers
 //	blowfishbench -exp all -json BENCH_eval.json
 //
-// Experiment ids: table1, fig3, fig10a, fig10b, planreuse, and figNx where N∈{8,9} and
+// Experiment ids: table1, fig3, fig10a, fig10b, planreuse, sparse (the
+// dense-vs-sparse answer-path timing sweep), and figNx where N∈{8,9} and
 // x∈{a..h} (fig8 and fig9 alone run all four workloads at both of that
 // figure's ε values). Results are deterministic for a fixed -seed at every
 // -parallel setting: experiment noise streams are pre-split in a fixed
@@ -60,7 +61,7 @@ func main() {
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "planreuse"}
+		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "planreuse", "sparse"}
 	}
 	report := benchReport{
 		Schema:      "blowfishbench/v1",
@@ -172,6 +173,10 @@ func run(id string, opts eval.Options, full bool, out io.Writer) ([]*eval.Table,
 		}
 	case id == "planreuse":
 		if err := emit(eval.PlanReuseExperiment(opts)); err != nil {
+			return nil, err
+		}
+	case id == "sparse":
+		if err := emit(eval.SparseAnswerExperiment(opts)); err != nil {
 			return nil, err
 		}
 	case id == "fig8" || id == "fig9":

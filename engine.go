@@ -267,9 +267,11 @@ func (pl *Plan) Answer(x []float64, eps float64, src *Source) ([]float64, error)
 
 // AnswerBatch releases the plan's workload over every database in xs at
 // budget eps each, charging the Accountant for all of them atomically
-// (all or nothing) and fanning the releases out over a worker pool. Noise
-// streams are pre-split from src in serial order, so the results are
-// identical to len(xs) sequential Answer calls each given src.Split().
+// (all or nothing) and fanning the releases out over the shared worker pool
+// (so batch fan-out and the kernels inside each release draw from one
+// goroutine budget). Noise streams are pre-split from src in serial order,
+// so the results are identical to len(xs) sequential Answer calls each
+// given src.Split().
 func (pl *Plan) AnswerBatch(xs [][]float64, eps float64, src *Source) ([][]float64, error) {
 	for i, x := range xs {
 		if len(x) != pl.k {
@@ -284,7 +286,7 @@ func (pl *Plan) AnswerBatch(xs [][]float64, eps float64, src *Source) ([][]float
 	}
 	srcs := src.SplitN(len(xs))
 	out := make([][]float64, len(xs))
-	err := par.DoErr(par.Workers(0), len(xs), func(i int) error {
+	err := par.Shared().DoErr(0, len(xs), func(i int) error {
 		got, err := pl.prep.Answer(xs[i], eps, srcs[i])
 		if err != nil {
 			return err

@@ -17,6 +17,7 @@ import (
 	"github.com/privacylab/blowfish/internal/linalg"
 	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/sparse"
 	"github.com/privacylab/blowfish/internal/workload"
 )
 
@@ -50,11 +51,16 @@ type Transform struct {
 	// path, computed once at construction so repeated DatabaseTransform calls
 	// (and concurrent ones — it is read-only afterwards) skip the BFS.
 	layout *treeLayout
-	// pinvOnce/pinv memoize the dense Moore–Penrose right inverse of P_G
-	// used by the non-tree DatabaseTransform fallback.
+	// pinvOnce/pinvOp memoize the Moore–Penrose right inverse of P_G used
+	// by the non-tree DatabaseTransform fallback, wrapped in the operator
+	// representation sparse.Select picks for its density.
 	pinvOnce sync.Once
-	pinv     *linalg.Matrix
+	pinvOp   sparse.Operator
 	pinvErr  error
+	// spgOnce/spg memoize the CSR form of P_G (two ±1 entries per column)
+	// behind ReconstructVertexDatabase and the sparse-aware consumers.
+	spgOnce sync.Once
+	spg     *sparse.CSR
 }
 
 // treeLayout is the rooted parent structure of a tree policy graph.
@@ -186,6 +192,47 @@ func (t *Transform) PG() *linalg.Matrix {
 	return m
 }
 
+// SparsePG returns the memoized CSR form of P_G: Rows()×NumEdges() with two
+// ±1 entries per column (one for columns incident on ⊥/alias). Each row's
+// entries come out in ascending edge order — the order the dense PG holds
+// them — so CSR kernels over it are bitwise compatible with the dense path.
+// The result is immutable and shared; callers must not modify it.
+func (t *Transform) SparsePG() *sparse.CSR {
+	t.spgOnce.Do(func() {
+		edges := t.Policy.G.Edges
+		rows := t.Rows()
+		// Count entries per row, then fill in ascending edge order per row.
+		rowPtr := make([]int, rows+1)
+		for _, e := range edges {
+			if r, ok := t.rowOf(e.U); ok {
+				rowPtr[r+1]++
+			}
+			if r, ok := t.rowOf(e.V); ok {
+				rowPtr[r+1]++
+			}
+		}
+		for r := 0; r < rows; r++ {
+			rowPtr[r+1] += rowPtr[r]
+		}
+		next := make([]int, rows)
+		copy(next, rowPtr[:rows])
+		colIdx := make([]int, rowPtr[rows])
+		val := make([]float64, rowPtr[rows])
+		for j, e := range edges {
+			if r, ok := t.rowOf(e.U); ok {
+				colIdx[next[r]], val[next[r]] = j, 1
+				next[r]++
+			}
+			if r, ok := t.rowOf(e.V); ok {
+				colIdx[next[r]], val[next[r]] = j, -1
+				next[r]++
+			}
+		}
+		t.spg = &sparse.CSR{Rows: rows, Cols: len(edges), RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	})
+	return t.spg
+}
+
 // rowOf maps a graph vertex to its P_G row, reporting false for ⊥/alias.
 func (t *Transform) rowOf(v int) (int, bool) {
 	if t.Policy.HasBottom && v == t.Policy.Bottom() {
@@ -230,11 +277,11 @@ func (t *Transform) ReducedDatabase(x []float64) []float64 {
 
 // TransformWorkload materializes the dense transformed workload
 // W_G = W·P_G (one row per query, one column per edge). Query rows are
-// independent, so they fan out over the linalg worker setting; the result is
-// identical at every parallelism level.
+// independent, so they fan out over the shared worker pool under the linalg
+// worker setting; the result is identical at every parallelism level.
 func (t *Transform) TransformWorkload(w *workload.Workload) *linalg.Matrix {
 	m := linalg.New(w.Len(), t.NumEdges())
-	par.Do(par.Workers(linalg.Parallelism()), w.Len(), func(i int) {
+	par.Shared().Do(par.Workers(linalg.Parallelism()), w.Len(), func(i int) {
 		q := w.Queries[i]
 		row := m.Row(i)
 		for j, e := range t.Policy.G.Edges {
@@ -244,31 +291,137 @@ func (t *Transform) TransformWorkload(w *workload.Workload) *linalg.Matrix {
 	return m
 }
 
+// SparseTransformWorkload builds W_G directly in CSR form. Transformed range
+// queries are supported on their boundary edges (Lemma 5.1), so the result
+// carries O(1)–O(θ) entries per row where the dense materialization holds
+// |E|; each row keeps ascending edge order, matching the dense row layout.
+func (t *Transform) SparseTransformWorkload(w *workload.Workload) *sparse.CSR {
+	edges := t.Policy.G.Edges
+	type rowbuf struct {
+		cols []int
+		vals []float64
+	}
+	rows := make([]rowbuf, w.Len())
+	par.Shared().Do(par.Workers(linalg.Parallelism()), w.Len(), func(i int) {
+		q := w.Queries[i]
+		var rb rowbuf
+		for j, e := range edges {
+			if c := t.QueryCoeffOnEdge(q, e); c != 0 {
+				rb.cols = append(rb.cols, j)
+				rb.vals = append(rb.vals, c)
+			}
+		}
+		rows[i] = rb
+	})
+	b := sparse.NewBuilder(w.Len(), len(edges))
+	for i, rb := range rows {
+		for p, j := range rb.cols {
+			b.Add(i, j, rb.vals[p])
+		}
+	}
+	return b.Build()
+}
+
 // DatabaseTransform computes x_G = P_G⁻¹·x(reduced). For tree policies it
 // runs the O(k) subtree-sum construction (for the line graph this yields the
-// prefix sums of Example 4.1); otherwise it falls back to the dense
-// Moore–Penrose right inverse, which is only practical for small domains.
+// prefix sums of Example 4.1); otherwise it falls back to the Moore–Penrose
+// right inverse, applied through the operator representation sparse.Select
+// picks for its density.
 func (t *Transform) DatabaseTransform(x []float64) ([]float64, error) {
 	if len(x) != t.Policy.K {
 		return nil, fmt.Errorf("core: database size %d != domain %d", len(x), t.Policy.K)
 	}
 	if t.isTree {
-		return t.treeDatabaseTransform(x), nil
+		xg := make([]float64, t.NumEdges())
+		t.treeDatabaseTransformInto(xg, x)
+		return xg, nil
 	}
-	t.pinvOnce.Do(func() {
-		t.pinv, t.pinvErr = linalg.RightInverse(t.PG())
-	})
-	if t.pinvErr != nil {
-		return nil, fmt.Errorf("core: DatabaseTransform: %w", t.pinvErr)
+	op, err := t.pinvOperator()
+	if err != nil {
+		return nil, fmt.Errorf("core: DatabaseTransform: %w", err)
 	}
-	return linalg.MulVec(t.pinv, t.ReducedDatabase(x)), nil
+	out := make([]float64, t.NumEdges())
+	op.Apply(out, t.ReducedDatabase(x))
+	return out, nil
 }
 
-// treeDatabaseTransform computes x_G for a tree policy: the value on each
-// edge is ± the total count of the subtree hanging below it (away from
-// ⊥/alias), signed by the edge orientation. This solves P_G·x_G = x exactly.
-func (t *Transform) treeDatabaseTransform(x []float64) []float64 {
+// pinvOperator memoizes P_G⁺ wrapped in its density-selected operator.
+func (t *Transform) pinvOperator() (sparse.Operator, error) {
+	t.pinvOnce.Do(func() {
+		pinv, err := linalg.RightInverse(t.PG())
+		if err != nil {
+			t.pinvErr = err
+			return
+		}
+		t.pinvOp = sparse.Select(pinv, 0)
+	})
+	return t.pinvOp, t.pinvErr
+}
+
+// DatabaseOperator returns the x → x_G map (the full K-length vertex
+// histogram in, exactly like DatabaseTransform) as a sparse.Operator: the
+// O(k) structure-aware subtree-sum operator for tree policies (no matrix is
+// materialized at all), or the density-selected pseudo-inverse operator —
+// wrapped so it performs the ⊥/alias reduction itself — otherwise. Both
+// branches therefore share one input contract. The operator is immutable
+// and safe for concurrent Apply.
+func (t *Transform) DatabaseOperator() (sparse.Operator, error) {
+	if t.isTree {
+		return treeOp{t: t}, nil
+	}
+	op, err := t.pinvOperator()
+	if err != nil {
+		return nil, err
+	}
+	return pinvFullOp{t: t, op: op}, nil
+}
+
+// pinvFullOp adapts the pseudo-inverse operator (which consumes the reduced
+// database) to the full-histogram contract of DatabaseOperator.
+type pinvFullOp struct {
+	t  *Transform
+	op sparse.Operator
+}
+
+// Dims returns (|E|, K): like treeOp, the operator consumes full vertex
+// histograms.
+func (o pinvFullOp) Dims() (int, int) { return o.t.NumEdges(), o.t.Policy.K }
+
+// Apply writes x_G = P_G⁺ · x(reduced) into dst.
+func (o pinvFullOp) Apply(dst, x []float64) { o.op.Apply(dst, o.t.ReducedDatabase(x)) }
+
+// AddApply accumulates dst += P_G⁺ · x(reduced).
+func (o pinvFullOp) AddApply(dst, x []float64) { o.op.AddApply(dst, o.t.ReducedDatabase(x)) }
+
+// treeOp is the structure-aware tree reconstruction operator: Apply runs the
+// O(k) subtree-sum pass instead of a pinv·x matvec. Its column space is the
+// full vertex domain (the ⊥/alias reduction happens inside the pass).
+type treeOp struct{ t *Transform }
+
+// Dims returns (|E|, K): the operator consumes full vertex histograms.
+func (o treeOp) Dims() (int, int) { return o.t.NumEdges(), o.t.Policy.K }
+
+// Apply writes x_G into dst.
+func (o treeOp) Apply(dst, x []float64) { o.t.treeDatabaseTransformInto(dst, x) }
+
+// AddApply accumulates dst += x_G.
+func (o treeOp) AddApply(dst, x []float64) {
+	tmp := make([]float64, len(dst))
+	o.t.treeDatabaseTransformInto(tmp, x)
+	for i, v := range tmp {
+		dst[i] += v
+	}
+}
+
+// treeDatabaseTransformInto computes x_G for a tree policy into xg: the
+// value on each edge is ± the total count of the subtree hanging below it
+// (away from ⊥/alias), signed by the edge orientation. This solves
+// P_G·x_G = x exactly.
+func (t *Transform) treeDatabaseTransformInto(xg, x []float64) {
 	g := t.Policy.G
+	if len(xg) != len(g.Edges) || len(x) != t.Policy.K {
+		panic(fmt.Sprintf("core: tree transform shape mismatch %d ← %d", len(xg), len(x)))
+	}
 	parent, parentEdge, order := t.layout.parent, t.layout.parentEdge, t.layout.order
 	down := make([]float64, g.N)
 	for v := 0; v < g.N; v++ {
@@ -280,7 +433,6 @@ func (t *Transform) treeDatabaseTransform(x []float64) []float64 {
 		}
 		down[v] = x[v]
 	}
-	xg := make([]float64, len(g.Edges))
 	// Accumulate subtree sums bottom-up (reverse BFS preorder).
 	for i := len(order) - 1; i >= 1; i-- {
 		v := order[i]
@@ -293,26 +445,19 @@ func (t *Transform) treeDatabaseTransform(x []float64) []float64 {
 		}
 		down[p] += down[v]
 	}
-	return xg
 }
 
 // ReconstructVertexDatabase inverts the tree transform: given x_G it returns
-// the reduced vertex database P_G·x_G (all domain values except ⊥/alias).
-// Useful for post-processing pipelines that operate in the edge domain.
+// the reduced vertex database P_G·x_G (all domain values except ⊥/alias),
+// applied through the memoized CSR form of P_G in O(nnz) = O(|E|). Each
+// output entry accumulates over its incident edges in ascending edge order —
+// exactly the order the previous dense column scatter produced — so results
+// are bitwise unchanged.
 func (t *Transform) ReconstructVertexDatabase(xg []float64) []float64 {
 	if len(xg) != t.NumEdges() {
 		panic(fmt.Sprintf("core: xg length %d != edges %d", len(xg), t.NumEdges()))
 	}
-	out := make([]float64, t.Rows())
-	for j, e := range t.Policy.G.Edges {
-		if r, ok := t.rowOf(e.U); ok {
-			out[r] += xg[j]
-		}
-		if r, ok := t.rowOf(e.V); ok {
-			out[r] -= xg[j]
-		}
-	}
-	return out
+	return t.SparsePG().MulVec(xg)
 }
 
 // PolicySensitivity returns Δ_W(G), which by Lemma 4.7 equals the ordinary

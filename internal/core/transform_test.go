@@ -469,3 +469,82 @@ func TestDatabaseTransformSizeMismatch(t *testing.T) {
 		t.Fatal("size mismatch accepted")
 	}
 }
+
+// mustTheta builds the 1-D distance-threshold policy G^θ_k for tests.
+func mustTheta(k, theta int) *policy.Policy {
+	p, err := policy.DistanceThreshold([]int{k}, theta)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestSparsePGMatchesDense(t *testing.T) {
+	for _, p := range []*policy.Policy{
+		policy.Unbounded(6), policy.Line(5), policy.Bounded(5),
+		policy.Grid(3), mustTheta(7, 2),
+	} {
+		tr, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spg := tr.SparsePG()
+		if spg != tr.SparsePG() {
+			t.Fatalf("%s: SparsePG must memoize", p.Name)
+		}
+		if d := linalg.MaxAbsDiff(spg.ToDense(), tr.PG()); d != 0 {
+			t.Fatalf("%s: sparse P_G diff %g from dense", p.Name, d)
+		}
+	}
+}
+
+func TestDatabaseOperatorMatchesDatabaseTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, p := range []*policy.Policy{
+		policy.Line(9),      // tree: structure-aware O(k) operator
+		policy.Unbounded(6), // star with bottom: still a tree
+		policy.Grid(3),      // cycle-bearing: pseudo-inverse operator
+	} {
+		tr, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := tr.DatabaseOperator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomHistogram(rng, p.K)
+		want, err := tr.DatabaseTransform(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, cols := op.Dims()
+		if rows != tr.NumEdges() {
+			t.Fatalf("%s: operator rows %d != edges %d", p.Name, rows, tr.NumEdges())
+		}
+		// Both branches consume the full K-length histogram.
+		if cols != p.K {
+			t.Fatalf("%s: operator cols %d != domain %d", p.Name, cols, p.K)
+		}
+		got := make([]float64, rows)
+		op.Apply(got, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("%s: operator[%d] = %g, DatabaseTransform %g", p.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSparseTransformWorkloadMatchesDense(t *testing.T) {
+	for _, p := range []*policy.Policy{policy.Line(8), policy.Grid(3), mustTheta(9, 3)} {
+		tr, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := workload.AllRanges1D(p.K)
+		if d := linalg.MaxAbsDiff(tr.SparseTransformWorkload(w).ToDense(), tr.TransformWorkload(w)); d != 0 {
+			t.Fatalf("%s: sparse W_G diff %g from dense", p.Name, d)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/strategy"
 	"github.com/privacylab/blowfish/internal/workload"
 )
@@ -35,6 +36,27 @@ type Options struct {
 	// one worker per available CPU. Tables are bitwise identical at every
 	// setting — all noise streams are pre-split in a fixed serial order.
 	Parallelism int
+	// Pool is the worker pool the measurement grid schedules on (the
+	// Figure 10 bound sweeps always use the shared pool); nil (the
+	// default) uses the process-wide par.Shared() pool, which the linalg
+	// and sparse kernels also draw from, so grid×kernel goroutines cannot
+	// multiply on large hosts.
+	Pool *par.Pool
+}
+
+// pool resolves the scheduling pool, defaulting to the shared one. An
+// explicit Parallelism above the shared pool's size gets a dedicated pool of
+// that size, preserving the documented "n > 1 uses n workers" contract
+// (deliberate oversubscription experiments) that the shared pool's clamp
+// would otherwise silently cap at the CPU count.
+func (o Options) pool() *par.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	if o.Parallelism > par.Shared().Size() {
+		return par.NewPool(o.Parallelism)
+	}
+	return par.Shared()
 }
 
 // Defaults returns paper-scale options.

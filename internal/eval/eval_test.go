@@ -246,3 +246,28 @@ func TestTableMarshalJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestSparseAnswerExperiment(t *testing.T) {
+	opts := Quick()
+	opts.Runs = 1
+	opts.Queries = 200
+	tab, err := SparseAnswerExperiment(opts)
+	if err != nil {
+		// The experiment itself asserts ≤1e-9 dense-vs-sparse agreement on
+		// every release, so an error here is an equivalence failure.
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 || len(tab.Columns) != 3 {
+		t.Fatalf("unexpected table shape: %d rows × %d cols", len(tab.Rows), len(tab.Columns))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	speedup, err := tab.Cell(last, "speedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quick sizes show >10× on an idle machine; >1 is the structural
+	// floor that survives arbitrarily noisy CI neighbors.
+	if !(speedup > 1) {
+		t.Fatalf("sparse path slower than dense at %s: speedup %g", last, speedup)
+	}
+}

@@ -57,14 +57,14 @@ func QuickFig10() Fig10Options {
 }
 
 // runBoundGrid fans a rows×cols grid of independent lower-bound computations
-// out over a worker pool. Each unit computes exactly one cell, so the filled
-// table is identical at every parallelism level.
+// out over the shared worker pool. Each unit computes exactly one cell, so
+// the filled table is identical at every parallelism level.
 func runBoundGrid(rows, cols, parallelism int, bound func(ri, ci int) (float64, error)) ([][]float64, error) {
 	cells := make([][]float64, rows)
 	for i := range cells {
 		cells[i] = make([]float64, cols)
 	}
-	err := par.DoErr(par.Workers(parallelism), rows*cols, func(u int) error {
+	err := par.Shared().DoErr(par.Workers(parallelism), rows*cols, func(u int) error {
 		ri, ci := u/cols, u%cols
 		v, err := bound(ri, ci)
 		if err != nil {
@@ -94,7 +94,7 @@ func SVD1DExperiment(o Fig10Options) (*Table, error) {
 	workers := par.Workers(o.Parallelism)
 	// The Gram matrix of each domain size is shared by its whole row.
 	grams := make([]*linalg.Matrix, len(o.Domains1D))
-	par.Do(workers, len(grams), func(ri int) {
+	par.Shared().Do(workers, len(grams), func(ri int) {
 		grams[ri] = lowerbound.RangeGram1D(o.Domains1D[ri])
 	})
 	cells, err := runBoundGrid(len(o.Domains1D), len(t.Columns), o.Parallelism, func(ri, ci int) (float64, error) {
@@ -139,7 +139,7 @@ func SVD2DExperiment(o Fig10Options) (*Table, error) {
 	}
 	workers := par.Workers(o.Parallelism)
 	grams := make([]*linalg.Matrix, len(o.Grids2D))
-	par.Do(workers, len(grams), func(ri int) {
+	par.Shared().Do(workers, len(grams), func(ri int) {
 		grams[ri] = lowerbound.RangeGramGrid([]int{o.Grids2D[ri], o.Grids2D[ri]})
 	})
 	cells, err := runBoundGrid(len(o.Grids2D), len(t.Columns), o.Parallelism, func(ri, ci int) (float64, error) {

@@ -62,6 +62,7 @@ type grid struct {
 	rows, cols int
 	runs       int
 	workers    int
+	pool       *par.Pool
 	cells      []*cell
 }
 
@@ -70,7 +71,8 @@ type grid struct {
 // that assemble their column set while iterating cannot drift out of sync
 // with the grid's dimensions.
 func newGrid(rows, cols int, opts Options) *grid {
-	return &grid{rows: rows, cols: cols, runs: opts.Runs, workers: par.Workers(opts.Parallelism)}
+	return &grid{rows: rows, cols: cols, runs: opts.Runs,
+		workers: par.Workers(opts.Parallelism), pool: opts.pool()}
 }
 
 // add registers the cell at (ri, ci). cellSrc is the cell's own stream (the
@@ -101,18 +103,18 @@ func (g *grid) addContender(ri, ci int, c contender, w *workload.Workload, x, tr
 // run executes every (cell × run) unit on the worker pool and returns the
 // reduced rows×cols table of average squared error per query.
 //
-// Units may themselves hit the parallel linalg kernels, so worst-case
-// goroutine count is grid workers × kernel workers. That oversubscription is
-// compute-bound goroutines timesharing threads — cheap in Go and bounded by
-// the kernels' flop thresholds (experiment-sized matrices mostly stay on the
-// serial path); a shared pool across layers is a ROADMAP item.
+// Units may themselves hit the parallel linalg/sparse kernels, but both
+// layers now draw from the same par.Pool goroutine budget: a kernel invoked
+// from a grid unit that already holds the pool's tokens simply runs serially
+// on that unit's goroutine, so the worst-case goroutine count is the pool
+// size, not grid workers × kernel workers.
 func (g *grid) run() ([][]float64, error) {
 	perRun := make([][]float64, len(g.cells))
 	for i := range perRun {
 		perRun[i] = make([]float64, g.runs)
 	}
 	units := len(g.cells) * g.runs
-	err := par.DoErr(g.workers, units, func(u int) error {
+	err := g.pool.DoErr(g.workers, units, func(u int) error {
 		c := g.cells[u/g.runs]
 		r := u % g.runs
 		var got []float64

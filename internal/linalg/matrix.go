@@ -2,8 +2,13 @@
 // transformational-equivalence machinery: matrix products, Gaussian
 // elimination, Moore–Penrose right inverses, and symmetric eigenvalue /
 // singular value computation. It is deliberately small, allocation-conscious
-// and dependency-free; domains in this repository are at most a few thousand
-// wide, so dense O(n³) routines are adequate.
+// and dependency-free. The product kernels are cache-blocked (64-row
+// b-chunks in ≤2048-column panels) and fan out by row blocks over the
+// shared internal/par pool, but
+// they remain O(n³): they serve compile-time factorizations and
+// verification. The answer hot path routes through internal/sparse, whose
+// O(nnz) operators (CSR and structure-aware reconstructions) carry domains
+// well past the few-thousand ceiling the dense routines were sized for.
 package linalg
 
 import (
@@ -103,6 +108,15 @@ func MulVec(a *Matrix, x []float64) []float64 {
 	out := make([]float64, a.Rows)
 	mulVecInto(out, a, x)
 	return out
+}
+
+// MulVecInto writes a·x into dst (len dst == a.Rows), using the same kernel
+// as MulVec; it exists so adapters can reuse caller-owned buffers.
+func MulVecInto(dst []float64, a *Matrix, x []float64) {
+	if a.Cols != len(x) || a.Rows != len(dst) {
+		panic(fmt.Sprintf("linalg: MulVecInto shape mismatch %d ← %dx%d · %d", len(dst), a.Rows, a.Cols, len(x)))
+	}
+	mulVecInto(dst, a, x)
 }
 
 // VecMul returns the vector-matrix product xᵀ·a as a vector.

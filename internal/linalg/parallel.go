@@ -37,11 +37,25 @@ const (
 	// minRowsPerBlock keeps blocks big enough that workers stream whole
 	// cache lines of the output.
 	minRowsPerBlock = 8
+	// mulTile is the b-row-chunk height of the cache-blocked product: 64
+	// rows of b at a time are folded into the output, so the chunk stays
+	// cache-resident while every row of the block streams against it.
+	mulTile = 64
+	// mulPanel caps the column width of one tile (mulTile×mulPanel floats
+	// ≈ 1 MB, inside L2 on anything current); products narrower than this
+	// use full-width chunks.
+	mulPanel = 2048
+	// mulTileMinCols gates tiling: products whose inner dimension stays
+	// near one chunk already keep their b working set cache-resident in
+	// the streaming kernel, and the extra loop nest costs more than it
+	// saves.
+	mulTileMinCols = 2 * mulTile
 )
 
 // mulRows computes rows [lo, hi) of out = a·b with the cache-friendly ikj
-// loop. This is the single source of truth for the product's iteration order:
-// the serial and parallel paths both run it, so they agree bitwise.
+// loop. Together with mulRowsTiled it defines the product's per-entry
+// iteration order — every output entry accumulates over k ascending with the
+// same zero skip — so the serial, parallel and tiled paths agree bitwise.
 func mulRows(out, a, b *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
@@ -58,18 +72,65 @@ func mulRows(out, a, b *Matrix, lo, hi int) {
 	}
 }
 
-// mulInto writes a·b into out, fanning row blocks out over goroutines when
-// the product is large enough to amortize the scheduling.
+// mulRowsTiled computes rows [lo, hi) of out = a·b with cache-blocked tiles
+// of b: the streaming kernel re-reads all of b once per output row (m·k·n
+// bytes of b traffic), while here each 64-row × ≤2048-column chunk of b is
+// folded into every output row of the block while it is cache-hot, cutting
+// b's traffic by the block height. Within a column panel the k-chunks are
+// visited in ascending order and each chunk accumulates directly into the
+// output row, so every output entry still sums over k ascending with the
+// same zero skip as mulRows: the two kernels are bitwise identical.
+func mulRowsTiled(out, a, b *Matrix, lo, hi int) {
+	for jt := 0; jt < b.Cols; jt += mulPanel {
+		jEnd := jt + mulPanel
+		if jEnd > b.Cols {
+			jEnd = b.Cols
+		}
+		for kt := 0; kt < a.Cols; kt += mulTile {
+			kEnd := kt + mulTile
+			if kEnd > a.Cols {
+				kEnd = a.Cols
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)[jt:jEnd]
+				for k := kt; k < kEnd; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(k)[jt:jEnd]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// mulBlock picks the tiled kernel for products with enough inner dimension
+// to chunk, and the plain streaming kernel otherwise.
+func mulBlock(out, a, b *Matrix, lo, hi int) {
+	if a.Cols >= mulTileMinCols {
+		mulRowsTiled(out, a, b, lo, hi)
+		return
+	}
+	mulRows(out, a, b, lo, hi)
+}
+
+// mulInto writes a·b into out, fanning row blocks out over the shared worker
+// pool when the product is large enough to amortize the scheduling.
 func mulInto(out, a, b *Matrix) {
 	w := workers()
 	flops := a.Rows * a.Cols * b.Cols
 	if w <= 1 || flops < mulParFlops || a.Rows < 2*minRowsPerBlock {
-		mulRows(out, a, b, 0, a.Rows)
+		mulBlock(out, a, b, 0, a.Rows)
 		return
 	}
 	blocks := par.Blocks(a.Rows, 4*w, minRowsPerBlock)
-	par.Do(w, len(blocks), func(bi int) {
-		mulRows(out, a, b, blocks[bi].Lo, blocks[bi].Hi)
+	par.Shared().Do(w, len(blocks), func(bi int) {
+		mulBlock(out, a, b, blocks[bi].Lo, blocks[bi].Hi)
 	})
 }
 
@@ -92,7 +153,7 @@ func mulVecInto(out []float64, a *Matrix, x []float64) {
 		return
 	}
 	blocks := par.Blocks(a.Rows, 4*w, minRowsPerBlock)
-	par.Do(w, len(blocks), func(bi int) {
+	par.Shared().Do(w, len(blocks), func(bi int) {
 		mulVecRows(out, a, x, blocks[bi].Lo, blocks[bi].Hi)
 	})
 }
@@ -109,7 +170,7 @@ func rowGram(m *Matrix) *Matrix {
 	if n*n*m.Cols < mulParFlops {
 		w = 1
 	}
-	par.Do(w, n, func(i int) {
+	par.Shared().Do(w, n, func(i int) {
 		ri := m.Row(i)
 		orow := out.Row(i)
 		for j := i; j < n; j++ {
@@ -157,7 +218,7 @@ func rank2Update(a *Matrix, d, e []float64, l int) {
 		return
 	}
 	blocks := par.Blocks(cols, 4*w, minRowsPerBlock)
-	par.Do(w, len(blocks), func(bi int) {
+	par.Shared().Do(w, len(blocks), func(bi int) {
 		rank2UpdateCols(a, d, e, l, blocks[bi].Lo, blocks[bi].Hi)
 	})
 }

@@ -158,6 +158,55 @@ func TestSymEigenvaluesParallelMatchesSerial(t *testing.T) {
 	})
 }
 
+func TestMulTiledBitwiseMatchesStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Shapes straddling the tile width, including non-multiples of 64 and
+	// zero-heavy inputs (the kernels share a zero skip).
+	for _, sh := range []struct{ m, k, n int }{
+		{16, 16, 128}, {33, 65, 129}, {70, 128, 200}, {128, 31, 256},
+	} {
+		for _, zf := range []float64{0, 0.6} {
+			a := randomSparseMatrix(rng, sh.m, sh.k, zf)
+			b := randomSparseMatrix(rng, sh.k, sh.n, zf)
+			want := New(sh.m, sh.n)
+			mulRows(want, a, b, 0, sh.m)
+			got := New(sh.m, sh.n)
+			mulRowsTiled(got, a, b, 0, sh.m)
+			if d := MaxAbsDiff(got, want); d != 0 {
+				t.Fatalf("%dx%d·%dx%d zf=%g: tiled kernel diff %g (must be bitwise)",
+					sh.m, sh.k, sh.k, sh.n, zf, d)
+			}
+		}
+	}
+}
+
+// BenchmarkMulTiled compares the plain streaming product kernel against the
+// cache-blocked kernel (64-row b-chunks) on a square product big enough for
+// the chunk reuse to matter (the ROADMAP cache-blocking item).
+func BenchmarkMulTiled(b *testing.B) {
+	const n = 512
+	rng := rand.New(rand.NewSource(18))
+	a := randomSparseMatrix(rng, n, n, 0)
+	c := randomSparseMatrix(rng, n, n, 0)
+	out := New(n, n)
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range out.Data {
+				out.Data[j] = 0
+			}
+			mulRows(out, a, c, 0, n)
+		}
+	})
+	b.Run("tiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range out.Data {
+				out.Data[j] = 0
+			}
+			mulRowsTiled(out, a, c, 0, n)
+		}
+	})
+}
+
 func TestSetParallelism(t *testing.T) {
 	prev := SetParallelism(3)
 	defer SetParallelism(prev)

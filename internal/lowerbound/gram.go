@@ -7,6 +7,7 @@ import (
 	"github.com/privacylab/blowfish/internal/core"
 	"github.com/privacylab/blowfish/internal/linalg"
 	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/sparse"
 )
 
 // The Figure 10 sweeps evaluate the SVD bound on the all-ranges workloads
@@ -63,33 +64,33 @@ func RangeGramGrid(dims []int) *linalg.Matrix {
 
 // SVDBoundFromGram evaluates the Corollary A.2 bound given the vertex-domain
 // Gram matrix WᵀW of the workload: it forms the edge-domain Gram
-// P_Gᵀ(WᵀW)P_G sparsely (P_G has two entries per column), takes its
-// eigenvalues, and returns P(ε,δ)·(Σλᵢ^(1/2))²/n_G.
+// P_Gᵀ(WᵀW)P_G through the generic sparse congruence kernel (P_G's columns
+// carry two ±1 entries, one for columns incident on ⊥, so the assembly is
+// O(|E|²) with a four-term expansion per entry — and parallel over rows),
+// takes its eigenvalues, and returns P(ε,δ)·(Σλᵢ^(1/2))²/n_G.
 func SVDBoundFromGram(gram *linalg.Matrix, p *policy.Policy, eps, delta float64) (float64, error) {
-	tr, err := core.New(p)
-	if err != nil {
+	// The transform validates the policy (connectivity, alias choice).
+	if _, err := core.New(p); err != nil {
 		return 0, err
 	}
 	edges := p.G.Edges
 	bottom := p.Bottom()
-	// mval treats the ⊥ row/column of the vertex Gram as zero (q[⊥] = 0);
-	// the Case II alias keeps its real coefficients, so no special casing.
-	mval := func(i, j int) float64 {
-		if i == bottom || j == bottom {
-			return 0
+	// Rows of pt are the columns of P_G over the vertex domain: (U, +1) then
+	// (V, −1), dropping the ⊥ entry (q[⊥] = 0); the Case II alias keeps its
+	// real coefficients, so no special casing. The stored entry order makes
+	// CongruenceDense reproduce the previous explicit four-term expansion
+	// bitwise.
+	pt := sparse.NewBuilder(len(edges), p.K)
+	hasBottom := p.HasBottom
+	for a, e := range edges {
+		if !(hasBottom && e.U == bottom) {
+			pt.Add(a, e.U, 1)
 		}
-		return gram.At(i, j)
-	}
-	n := len(edges)
-	eg := linalg.New(n, n)
-	for a, ea := range edges {
-		for b := a; b < n; b++ {
-			eb := edges[b]
-			v := mval(ea.U, eb.U) - mval(ea.U, eb.V) - mval(ea.V, eb.U) + mval(ea.V, eb.V)
-			eg.Set(a, b, v)
-			eg.Set(b, a, v)
+		if !(hasBottom && e.V == bottom) {
+			pt.Add(a, e.V, -1)
 		}
 	}
+	eg := pt.Build().CongruenceDense(gram)
 	ev, err := linalg.SymEigenvalues(eg)
 	if err != nil {
 		return 0, fmt.Errorf("lowerbound: edge Gram eigenvalues: %w", err)
@@ -100,8 +101,7 @@ func SVDBoundFromGram(gram *linalg.Matrix, p *policy.Policy, eps, delta float64)
 			sum += math.Sqrt(v)
 		}
 	}
-	_ = tr // the transform validates the policy (connectivity, alias choice)
-	return PFactor(eps, delta) * sum * sum / float64(n), nil
+	return PFactor(eps, delta) * sum * sum / float64(len(edges)), nil
 }
 
 // SVDBoundDPFromGram evaluates the plain-DP Li–Miklau bound from the

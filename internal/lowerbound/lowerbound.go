@@ -25,23 +25,32 @@ func PFactor(eps, delta float64) float64 {
 //	P(ε, δ) · (λ₁ + … + λ_s)² / n_G
 //
 // where λᵢ are the singular values of the transformed workload W_G and n_G
-// is its number of columns (the policy's edge count).
+// is its number of columns (the policy's edge count). W_G is built in CSR
+// form and its Gram assembled sparsely — O(nnz) per Gram column instead of
+// O(q·|E|) — before the dense eigensolve, which dominates.
 func SVDBound(w *workload.Workload, p *policy.Policy, eps, delta float64) (float64, error) {
 	tr, err := transformFor(p)
 	if err != nil {
 		return 0, err
 	}
-	wg := tr.TransformWorkload(w)
-	sv, err := linalg.SingularValues(wg)
+	wgs := tr.SparseTransformWorkload(w)
+	var gram *linalg.Matrix
+	if wgs.Rows >= wgs.Cols {
+		gram = wgs.Gram() // |E|×|E|: the smaller Gram when q ≥ |E|
+	} else {
+		gram = wgs.T().Gram() // q×q for edge-heavy policies
+	}
+	ev, err := linalg.SymEigenvalues(gram)
 	if err != nil {
 		return 0, fmt.Errorf("lowerbound: singular values of W_G: %w", err)
 	}
 	var sum float64
-	for _, v := range sv {
-		sum += v
+	for _, v := range ev {
+		if v > 0 {
+			sum += math.Sqrt(v)
+		}
 	}
-	ng := float64(wg.Cols)
-	return PFactor(eps, delta) * sum * sum / ng, nil
+	return PFactor(eps, delta) * sum * sum / float64(wgs.Cols), nil
 }
 
 // SVDBoundDP returns the original Li–Miklau bound for the untransformed

@@ -107,6 +107,96 @@ func TestWorkers(t *testing.T) {
 	}
 }
 
+func TestPoolDoCoversEveryIndexOnce(t *testing.T) {
+	for _, size := range []int{1, 2, 8} {
+		p := NewPool(size)
+		for _, workers := range []int{0, 1, 3, 64} {
+			for _, n := range []int{0, 1, 5, 100} {
+				hits := make([]atomic.Int32, n)
+				p.Do(workers, n, func(i int) { hits[i].Add(1) })
+				for i := range hits {
+					if got := hits[i].Load(); got != 1 {
+						t.Fatalf("size=%d workers=%d n=%d: index %d ran %d times", size, workers, n, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	order := make([]int, 0, 10)
+	p.Do(8, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool must run in index order, got %v", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("nil pool ran %d of 10 indices", len(order))
+	}
+}
+
+func TestPoolNestedDoDoesNotMultiplyGoroutines(t *testing.T) {
+	// An outer fan-out whose units each fan out again must never hold more
+	// goroutines than the pool size: inner calls find the token budget
+	// drained and degrade to serial instead of multiplying.
+	p := NewPool(4)
+	var active, peak atomic.Int32
+	track := func() func() {
+		a := active.Add(1)
+		for {
+			old := peak.Load()
+			if a <= old || peak.CompareAndSwap(old, a) {
+				break
+			}
+		}
+		return func() { active.Add(-1) }
+	}
+	p.Do(0, 8, func(int) {
+		done := track()
+		defer done()
+		p.Do(0, 8, func(int) {
+			done := track()
+			defer done()
+		})
+	})
+	// Outer units and nested units both count; the budget is callers+helpers
+	// = pool size, and each nested serial unit runs on its parent goroutine,
+	// so concurrent trackers are at most 2× the pool size (parent + its own
+	// inline child frame) — but never size².
+	if got := peak.Load(); got > int32(2*p.Size()) {
+		t.Fatalf("nested fan-out reached %d concurrent units; pool size %d", got, p.Size())
+	}
+}
+
+func TestPoolDoErr(t *testing.T) {
+	p := NewPool(4)
+	boom := errors.New("boom")
+	err := p.DoErr(0, 100, func(i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if err := p.DoErr(0, 100, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestSharedPoolIsSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared must return one process-wide pool")
+	}
+	if Shared().Size() < 1 {
+		t.Fatal("shared pool must have positive size")
+	}
+}
+
 func TestBlocksRespectMinSize(t *testing.T) {
 	// Every block must be at least minSize wide unless a single block covers
 	// everything.

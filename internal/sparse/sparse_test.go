@@ -1,0 +1,301 @@
+package sparse
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/noise"
+)
+
+// randomSparse synthesizes a dense matrix with the given fill probability,
+// forcing a fully-empty row and column when the shape allows so the CSR
+// paths cover zero-length rows and never-referenced columns.
+func randomSparse(rows, cols int, density float64, src *noise.Source) *linalg.Matrix {
+	m := linalg.New(rows, cols)
+	for i := range m.Data {
+		if src.Uniform() < density {
+			m.Data[i] = src.NormFloat64()
+		}
+	}
+	if rows > 2 && cols > 2 {
+		for j := 0; j < cols; j++ {
+			m.Set(rows/2, j, 0) // empty row
+		}
+		for i := 0; i < rows; i++ {
+			m.Set(i, cols/2, 0) // empty column
+		}
+	}
+	return m
+}
+
+func randomVec(n int, src *noise.Source) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.NormFloat64()
+	}
+	return x
+}
+
+func maxAbsDiffVec(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+var propShapes = []struct {
+	rows, cols int
+	density    float64
+}{
+	{0, 0, 0}, {1, 1, 1}, {5, 1, 0.5}, {1, 7, 0.5},
+	{16, 16, 0}, {16, 16, 0.05}, {33, 17, 0.2}, {17, 33, 0.5},
+	{64, 64, 0.1}, {48, 80, 1.0}, {128, 32, 0.02},
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	src := noise.NewSource(1)
+	for _, tc := range propShapes {
+		d := randomSparse(tc.rows, tc.cols, tc.density, src)
+		c := FromDense(d)
+		if c.Rows != tc.rows || c.Cols != tc.cols {
+			t.Fatalf("%dx%d: bad shape %dx%d", tc.rows, tc.cols, c.Rows, c.Cols)
+		}
+		x := randomVec(tc.cols, src)
+		got := c.MulVec(x)
+		want := linalg.MulVec(d, x)
+		if diff := maxAbsDiffVec(got, want); diff > 1e-12 {
+			t.Fatalf("%dx%d density %g: MulVec diff %g", tc.rows, tc.cols, tc.density, diff)
+		}
+	}
+}
+
+func TestMulVecBitwiseOnFullyDense(t *testing.T) {
+	// A CSR holding every entry performs exactly the dense kernel's float
+	// ops in the same order, so the agreement must be bitwise, not just
+	// within tolerance.
+	src := noise.NewSource(2)
+	d := randomSparse(37, 41, 1.0, src)
+	// Remove the forced empty row/col zeros: refill everything.
+	for i := range d.Data {
+		d.Data[i] = src.NormFloat64()
+	}
+	x := randomVec(41, src)
+	got := FromDense(d).MulVec(x)
+	want := linalg.MulVec(d, x)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %v != %v (bitwise)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddApplySeedsAccumulator(t *testing.T) {
+	src := noise.NewSource(3)
+	d := randomSparse(24, 24, 0.3, src)
+	c := FromDense(d)
+	x := randomVec(24, src)
+	seed := randomVec(24, src)
+	got := append([]float64(nil), seed...)
+	c.AddApply(got, x)
+	want := linalg.MulVec(d, x)
+	for i := range want {
+		want[i] += seed[i]
+	}
+	if diff := maxAbsDiffVec(got, want); diff > 1e-12 {
+		t.Fatalf("AddApply diff %g", diff)
+	}
+}
+
+func TestMulMatchesDense(t *testing.T) {
+	src := noise.NewSource(4)
+	for _, tc := range []struct {
+		m, k, n int
+		da, db  float64
+	}{
+		{5, 7, 3, 0.4, 0.4}, {16, 16, 16, 0.1, 0.9}, {20, 8, 31, 0, 0.5},
+		{9, 9, 9, 1, 1}, {12, 30, 12, 0.2, 0.05},
+	} {
+		a := randomSparse(tc.m, tc.k, tc.da, src)
+		b := randomSparse(tc.k, tc.n, tc.db, src)
+		got := FromDense(a).Mul(FromDense(b)).ToDense()
+		want := linalg.Mul(a, b)
+		if diff := linalg.MaxAbsDiff(got, want); diff > 1e-9 {
+			t.Fatalf("%dx%dx%d: Mul diff %g", tc.m, tc.k, tc.n, diff)
+		}
+	}
+}
+
+func TestTransposeMatchesDense(t *testing.T) {
+	src := noise.NewSource(5)
+	for _, tc := range propShapes {
+		d := randomSparse(tc.rows, tc.cols, tc.density, src)
+		c := FromDense(d)
+		if diff := linalg.MaxAbsDiff(c.T().ToDense(), d.T()); diff != 0 {
+			t.Fatalf("%dx%d: transpose diff %g", tc.rows, tc.cols, diff)
+		}
+		if diff := linalg.MaxAbsDiff(c.T().T().ToDense(), d); diff != 0 {
+			t.Fatalf("%dx%d: double transpose diff %g", tc.rows, tc.cols, diff)
+		}
+	}
+}
+
+func TestGramMatchesDense(t *testing.T) {
+	src := noise.NewSource(6)
+	for _, tc := range propShapes {
+		d := randomSparse(tc.rows, tc.cols, tc.density, src)
+		got := FromDense(d).Gram()
+		want := linalg.Gram(d)
+		if diff := linalg.MaxAbsDiff(got, want); diff > 1e-9 {
+			t.Fatalf("%dx%d density %g: Gram diff %g", tc.rows, tc.cols, tc.density, diff)
+		}
+	}
+}
+
+func TestCongruenceDenseMatchesTriple(t *testing.T) {
+	src := noise.NewSource(7)
+	// M rows play strategy vectors; G symmetric positive-ish.
+	for _, n := range []int{3, 9, 17} {
+		md := randomSparse(n+2, n, 0.3, src)
+		g0 := randomSparse(n, n, 0.8, src)
+		g := linalg.Mul(g0, g0.T()) // symmetrize
+		got := FromDense(md).CongruenceDense(g)
+		want := linalg.Mul(linalg.Mul(md, g), md.T())
+		if diff := linalg.MaxAbsDiff(got, want); diff > 1e-9 {
+			t.Fatalf("n=%d: congruence diff %g", n, diff)
+		}
+	}
+}
+
+func TestBuilderSkipsRowsAndPanicsOutOfOrder(t *testing.T) {
+	b := NewBuilder(5, 4)
+	b.Add(1, 3, 2)
+	b.Add(4, 0, -1)
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz %d", m.NNZ())
+	}
+	d := m.ToDense()
+	if d.At(1, 3) != 2 || d.At(4, 0) != -1 {
+		t.Fatal("entries misplaced")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Add must panic")
+		}
+	}()
+	b2 := NewBuilder(3, 3)
+	b2.Add(2, 0, 1)
+	b2.Add(1, 0, 1)
+}
+
+func TestBuilderRejectsDuplicateEntries(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate (row, col) Add must panic")
+		}
+	}()
+	b := NewBuilder(3, 3)
+	b.Add(1, 2, 1)
+	b.Add(1, 0, 1)
+	b.Add(1, 2, 5)
+}
+
+func TestIdentityAndDensity(t *testing.T) {
+	id := Identity(8)
+	x := randomVec(8, noise.NewSource(8))
+	if diff := maxAbsDiffVec(id.MulVec(x), x); diff != 0 {
+		t.Fatalf("identity apply diff %g", diff)
+	}
+	if got := id.Density(); got != 8.0/64.0 {
+		t.Fatalf("density %g", got)
+	}
+	var empty CSR
+	if (&empty).Density() != 1 {
+		t.Fatal("degenerate shapes must report fully dense")
+	}
+}
+
+func TestSelectPicksByDensity(t *testing.T) {
+	src := noise.NewSource(9)
+	sparseM := randomSparse(32, 32, 0.05, src)
+	denseM := randomSparse(32, 32, 0.9, src)
+	if _, ok := Select(sparseM, 0).(*CSR); !ok {
+		t.Fatal("low-density matrix must select CSR")
+	}
+	if _, ok := Select(denseM, 0).(Dense); !ok {
+		t.Fatal("high-density matrix must stay dense")
+	}
+	// Either representation answers identically.
+	x := randomVec(32, src)
+	for _, m := range []*linalg.Matrix{sparseM, denseM} {
+		op := Select(m, 0)
+		dst := make([]float64, 32)
+		op.Apply(dst, x)
+		if diff := maxAbsDiffVec(dst, linalg.MulVec(m, x)); diff > 1e-12 {
+			t.Fatalf("selected operator diverges: %g", diff)
+		}
+	}
+}
+
+func TestDenseAdapterMatchesKernels(t *testing.T) {
+	src := noise.NewSource(11)
+	m := randomSparse(40, 24, 0.7, src)
+	x := randomVec(24, src)
+	op := Dense{M: m}
+	if r, c := op.Dims(); r != 40 || c != 24 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	dst := make([]float64, 40)
+	op.Apply(dst, x)
+	want := linalg.MulVec(m, x)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("Dense.Apply must be bitwise MulVec at row %d", i)
+		}
+	}
+}
+
+func TestMulDenseMatchesDense(t *testing.T) {
+	src := noise.NewSource(12)
+	a := randomSparse(20, 30, 0.2, src)
+	b := randomSparse(30, 10, 0.9, src)
+	got := FromDense(a).MulDense(b)
+	want := linalg.Mul(a, b)
+	if diff := linalg.MaxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("MulDense diff %g", diff)
+	}
+}
+
+// TestConcurrentApplyIsRaceFree drives one shared immutable operator from
+// many goroutines — the access pattern of concurrent Plan.Answer calls over
+// a compiled strategy — under the race detector.
+func TestConcurrentApplyIsRaceFree(t *testing.T) {
+	src := noise.NewSource(13)
+	d := randomSparse(64, 64, 0.1, src)
+	ops := []Operator{FromDense(d), Dense{M: d}, Identity(64)}
+	x := randomVec(64, src)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		for _, op := range ops {
+			wg.Add(1)
+			go func(op Operator) {
+				defer wg.Done()
+				rows, _ := op.Dims()
+				dst := make([]float64, rows)
+				for it := 0; it < 50; it++ {
+					op.Apply(dst, x)
+					op.AddApply(dst, x)
+				}
+			}(op)
+		}
+	}
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/sparse"
 	"github.com/privacylab/blowfish/internal/workload"
 )
 
@@ -25,12 +26,22 @@ type Prepared struct {
 	// answer is the hot path: noise the precompiled strategy at eps and
 	// reconstruct every workload query for database x.
 	answer func(x []float64, eps float64, src *noise.Source) ([]float64, error)
+	// op is the compiled linear operator the hot path applies per release:
+	// the query-reconstruction matrix for tree strategies (CSR when its
+	// density is below sparse.DefaultMaxDensity, dense above), or the
+	// structure-aware workload-evaluation operator for grid strategies.
+	op sparse.Operator
 }
 
 // Answer releases the compiled workload over database x under budget eps.
 func (p *Prepared) Answer(x []float64, eps float64, src *noise.Source) ([]float64, error) {
 	return p.answer(x, eps, src)
 }
+
+// Operator exposes the compiled hot-path operator for inspection, tests and
+// benchmarks; it is immutable and safe for concurrent Apply. Strategies
+// without a single such operator return nil.
+func (p *Prepared) Operator() sparse.Operator { return p.op }
 
 // compilations counts strategy compilations process-wide; plan-reuse tests
 // assert repeated Prepared.Answer calls leave it flat while the legacy

@@ -1,0 +1,65 @@
+package strategy
+
+import (
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+// This file holds the structure-aware workload-evaluation operators the grid
+// strategies compile to. A d-dimensional range workload is a q×k 0/1 matrix,
+// but materializing it (even as CSR) costs O(q·volume); these operators
+// exploit the range structure instead — one summed-area table per
+// application, O(2^d) reads per query — which is both the paper's evaluation
+// path and the O(n + q) member of the sparse.Operator family.
+
+// rangeKdOp evaluates a fixed list of k-D rectangle queries: Apply is
+// W·x computed as an O(k) summed-area table plus O(2^d) corner reads per
+// query. It is immutable after compilation and safe for concurrent Apply.
+type rangeKdOp struct {
+	dims  []int
+	k     int
+	rects []workload.RangeKd
+}
+
+// Dims returns (#queries, domain size).
+func (o *rangeKdOp) Dims() (int, int) { return len(o.rects), o.k }
+
+// Apply writes the exact rectangle answers into dst.
+func (o *rangeKdOp) Apply(dst, x []float64) {
+	table := workload.SummedAreaTable(o.dims, x)
+	for i, rq := range o.rects {
+		dst[i] = workload.EvalRangeKd(o.dims, table, rq)
+	}
+}
+
+// AddApply accumulates dst += W·x.
+func (o *rangeKdOp) AddApply(dst, x []float64) {
+	table := workload.SummedAreaTable(o.dims, x)
+	for i, rq := range o.rects {
+		dst[i] += workload.EvalRangeKd(o.dims, table, rq)
+	}
+}
+
+// range1DOp is the 1-D specialization over prefix sums.
+type range1DOp struct {
+	k      int
+	ranges []workload.Range1D
+}
+
+// Dims returns (#queries, domain size).
+func (o *range1DOp) Dims() (int, int) { return len(o.ranges), o.k }
+
+// Apply writes the exact range answers into dst.
+func (o *range1DOp) Apply(dst, x []float64) {
+	prefix := workload.PrefixSums(x)
+	for i, r := range o.ranges {
+		dst[i] = workload.EvalRange1D(prefix, r)
+	}
+}
+
+// AddApply accumulates dst += W·x.
+func (o *range1DOp) AddApply(dst, x []float64) {
+	prefix := workload.PrefixSums(x)
+	for i, r := range o.ranges {
+		dst[i] += workload.EvalRange1D(prefix, r)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/privacylab/blowfish/internal/noise"
 	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/sparse"
 	"github.com/privacylab/blowfish/internal/workload"
 )
 
@@ -23,16 +24,21 @@ import (
 
 // candidateStrategy is one evaluated strategy.
 type candidateStrategy struct {
-	name  string
-	a     *linalg.Matrix // strategy over the edge domain
-	recon *linalg.Matrix // W_G · A⁺
-	delta float64        // max column L1 norm of A (per-edge participation)
-	err   float64        // total analytic squared error at ε = 1
+	name    string
+	a       *linalg.Matrix  // strategy over the edge domain
+	recon   *linalg.Matrix  // W_G · A⁺
+	reconOp sparse.Operator // recon in its density-selected representation
+	delta   float64         // max column L1 norm of A (per-edge participation)
+	err     float64         // total analytic squared error at ε = 1
 }
 
-// buildCandidate evaluates strategy a for transformed workload wg, returning
-// nil when a cannot reconstruct wg.
-func buildCandidate(name string, wg, a *linalg.Matrix) *candidateStrategy {
+// buildCandidate evaluates strategy a for the transformed workload (wgs in
+// CSR form, wg its dense materialization), returning nil when a cannot
+// reconstruct it. The q×rows reconstruction W_G·A⁺ is computed through the
+// sparse left factor — O(nnz(W_G)·rows) instead of O(q·|E|·rows) — and the
+// hot path applies it through whichever operator representation its own
+// density selects.
+func buildCandidate(name string, wgs *sparse.CSR, wg, a *linalg.Matrix) *candidateStrategy {
 	var aPlus *linalg.Matrix
 	var err error
 	if a.Rows >= a.Cols {
@@ -43,7 +49,7 @@ func buildCandidate(name string, wg, a *linalg.Matrix) *candidateStrategy {
 	if err != nil {
 		return nil
 	}
-	recon := linalg.Mul(wg, aPlus)
+	recon := wgs.MulDense(aPlus)
 	if linalg.MaxAbsDiff(linalg.Mul(recon, a), wg) > 1e-6 {
 		return nil
 	}
@@ -52,7 +58,8 @@ func buildCandidate(name string, wg, a *linalg.Matrix) *candidateStrategy {
 	for _, v := range recon.Data {
 		frob += v * v
 	}
-	return &candidateStrategy{name: name, a: a, recon: recon, delta: delta,
+	return &candidateStrategy{name: name, a: a, recon: recon,
+		reconOp: sparse.Select(recon, 0), delta: delta,
 		err: 2 * delta * delta * frob}
 }
 
@@ -89,7 +96,8 @@ func OptimizeDense(p *policy.Policy, w *workload.Workload, eps float64) (Algorit
 	if err != nil {
 		return Algorithm{}, 0, err
 	}
-	wg := tr.TransformWorkload(w)
+	wgs := tr.SparseTransformWorkload(w)
+	wg := wgs.ToDense()
 	m := wg.Cols
 	specs := []struct {
 		name string
@@ -99,12 +107,12 @@ func OptimizeDense(p *policy.Policy, w *workload.Workload, eps float64) (Algorit
 		{"hierarchy-edges", hierarchyMatrix(m)},
 		{"workload-itself", wg.Clone()},
 	}
-	// Each candidate costs a pseudo-inverse plus two dense products, so
-	// evaluate them concurrently; the winner is then picked serially in spec
-	// order, keeping ties deterministic.
+	// Each candidate costs a pseudo-inverse plus two products, so evaluate
+	// them concurrently; the winner is then picked serially in spec order,
+	// keeping ties deterministic.
 	cands := make([]*candidateStrategy, len(specs))
-	par.Do(par.Workers(linalg.Parallelism()), len(specs), func(i int) {
-		cands[i] = buildCandidate(specs[i].name, wg, specs[i].a)
+	par.Shared().Do(par.Workers(linalg.Parallelism()), len(specs), func(i int) {
+		cands[i] = buildCandidate(specs[i].name, wgs, wg, specs[i].a)
 	})
 	var best *candidateStrategy
 	for _, cand := range cands {
@@ -119,27 +127,48 @@ func OptimizeDense(p *policy.Policy, w *workload.Workload, eps float64) (Algorit
 		return Algorithm{}, 0, fmt.Errorf("strategy: no candidate strategy supports workload %q under %q", w.Name, p.Name)
 	}
 	perQuery := best.err / (eps * eps) / float64(w.Len())
-	chosen := best
+	// Capture only what the serving closures need — reconOp, the noise
+	// dimension and the sensitivity — so the dense recon and strategy
+	// matrices (q×|E| and rows×|E|) can be collected once the search is
+	// over instead of living as long as the returned Algorithm.
+	name := "Optimized(" + best.name + ")"
+	reconOp, queries, etaLen, delta := best.reconOp, best.recon.Rows, best.a.Rows, best.delta
+	answer := func(w2 *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error) {
+		if w2.K != p.K {
+			return nil, fmt.Errorf("strategy: optimized mechanism domain %d != %d", p.K, w2.K)
+		}
+		if w2.Len() != queries {
+			return nil, fmt.Errorf("strategy: optimized mechanism fixed to %d queries, got %d", queries, w2.Len())
+		}
+		if w2 != w {
+			// A different same-shape workload would be answered as
+			// w2.Answers(x) + Recon_w·η — not a post-processing of the
+			// noised strategy, so the privacy guarantee would not apply.
+			return nil, fmt.Errorf("strategy: optimized mechanism is bound to workload %q", w.Name)
+		}
+		out := w2.Answers(x)
+		scale := 0.0
+		if eps > 0 {
+			scale = delta / eps
+		}
+		eta := src.LaplaceVec(etaLen, scale)
+		reconOp.AddApply(out, eta)
+		return out, nil
+	}
 	alg := Algorithm{
-		Name: "Optimized(" + chosen.name + ")",
-		Run: func(w2 *workload.Workload, x []float64, eps float64, src *noise.Source) ([]float64, error) {
-			if w2.K != p.K {
-				return nil, fmt.Errorf("strategy: optimized mechanism domain %d != %d", p.K, w2.K)
+		Name: name,
+		Run:  answer,
+		// The search already compiled everything; Prepare just pins the
+		// chosen strategy to the workload it was optimized for. Identity,
+		// not shape, is required — see the check inside answer.
+		Prepare: func(w2 *workload.Workload) (*Prepared, error) {
+			if w2 != w {
+				return nil, fmt.Errorf("strategy: optimized mechanism is bound to workload %q", w.Name)
 			}
-			if w2.Len() != chosen.recon.Rows {
-				return nil, fmt.Errorf("strategy: optimized mechanism fixed to %d queries, got %d", chosen.recon.Rows, w2.Len())
-			}
-			out := w2.Answers(x)
-			scale := 0.0
-			if eps > 0 {
-				scale = chosen.delta / eps
-			}
-			eta := src.LaplaceVec(chosen.a.Rows, scale)
-			noiseVec := linalg.MulVec(chosen.recon, eta)
-			for i := range out {
-				out[i] += noiseVec[i]
-			}
-			return out, nil
+			return &Prepared{Name: name, op: reconOp,
+				answer: func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
+					return answer(w2, x, eps, src)
+				}}, nil
 		},
 	}
 	if math.IsNaN(perQuery) {

@@ -233,13 +233,18 @@ func CompileThetaGridRange2D(name string, dims []int, theta int, w *workload.Wor
 		}
 	}
 	compilations.Add(1)
+	rects := make([]workload.RangeKd, len(plans))
+	for i := range plans {
+		rects[i] = plans[i].rq
+	}
+	truth := &rangeKdOp{dims: dims, k: w.K, rects: rects}
 	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
 		if err := checkDomain(w, x); err != nil {
 			return nil, err
 		}
 		s := lay.noised(eps, src)
-		table := workload.SummedAreaTable(dims, x)
 		out := make([]float64, len(plans))
+		truth.Apply(out, x)
 		for i := range plans {
 			qp := &plans[i]
 			var n float64
@@ -249,11 +254,11 @@ func CompileThetaGridRange2D(name string, dims []int, theta int, w *workload.Wor
 			for _, p := range qp.pieces {
 				n += s.internalNoise(p)
 			}
-			out[i] = workload.EvalRangeKd(dims, table, qp.rq) + n
+			out[i] += n
 		}
 		return out, nil
 	}
-	return &Prepared{Name: name, answer: answer}, nil
+	return &Prepared{Name: name, answer: answer, op: truth}, nil
 }
 
 func minInt2(a, b int) int {

@@ -149,19 +149,20 @@ func CompileGridRangeKd(name string, dims []int, w *workload.Workload) (*Prepare
 		rects[i] = rq
 	}
 	compilations.Add(1)
+	truth := &rangeKdOp{dims: dims, k: w.K, rects: rects}
 	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
 		if err := checkDomain(w, x); err != nil {
 			return nil, err
 		}
 		s := newGridKdStrategy(dims, eps, src)
-		table := workload.SummedAreaTable(dims, x)
 		out := make([]float64, len(rects))
+		truth.Apply(out, x)
 		for i, rq := range rects {
-			out[i] = workload.EvalRangeKd(dims, table, rq) + s.queryNoise(rq.Lo, rq.Hi)
+			out[i] += s.queryNoise(rq.Lo, rq.Hi)
 		}
 		return out, nil
 	}
-	return &Prepared{Name: name, answer: answer}, nil
+	return &Prepared{Name: name, answer: answer, op: truth}, nil
 }
 
 // GridPolicyRangeKdVariance returns the analytic per-query error of the

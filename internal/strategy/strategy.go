@@ -15,6 +15,7 @@ import (
 	"github.com/privacylab/blowfish/internal/mech"
 	"github.com/privacylab/blowfish/internal/noise"
 	"github.com/privacylab/blowfish/internal/policy"
+	"github.com/privacylab/blowfish/internal/sparse"
 	"github.com/privacylab/blowfish/internal/workload"
 )
 
@@ -75,21 +76,33 @@ func TreePolicy(name string, tr *core.Transform, stretch int, est Estimator) Alg
 	})
 }
 
-// treeQueryPlan is one query's precompiled reconstruction: the support-edge
-// coefficient list in the exact order the per-call path discovers it (so the
-// float accumulation is bitwise identical) plus the Lemma 4.10 alias term.
-type treeQueryPlan struct {
-	hasAlias   bool
-	aliasCoeff float64
-	edges      []int
-	coeffs     []float64
-}
-
 // CompileTree compiles the Theorem 4.3 tree strategy for one workload: the
 // per-query transformed supports and alias corrections are computed once, so
 // the hot path is only x_G (O(k) over the memoized layout), one estimator
-// call, and a sparse reconstruction.
+// call, and an O(nnz) operator application. The reconstruction matrix (one
+// row per query, one column per edge, entries in support-discovery order so
+// the float accumulation matches the per-call path bitwise) is kept as CSR
+// when its density is below sparse.DefaultMaxDensity and materialized dense
+// otherwise.
 func CompileTree(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload) (*Prepared, error) {
+	return compileTree(name, tr, stretch, est, w, func(c *sparse.CSR) sparse.Operator {
+		if c.Density() < sparse.DefaultMaxDensity {
+			return c
+		}
+		return sparse.Dense{M: c.ToDense()}
+	})
+}
+
+// CompileTreeDense compiles the same strategy but forces the dense
+// reconstruction operator — the pre-sparse hot path, kept as the comparison
+// baseline for the sparse-vs-dense equivalence suite and benchmarks.
+func CompileTreeDense(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload) (*Prepared, error) {
+	return compileTree(name, tr, stretch, est, w, func(c *sparse.CSR) sparse.Operator {
+		return sparse.Dense{M: c.ToDense()}
+	})
+}
+
+func compileTree(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload, pick func(*sparse.CSR) sparse.Operator) (*Prepared, error) {
 	if !tr.IsTree() {
 		return nil, fmt.Errorf("strategy: %s: policy %q is not a tree", name, tr.Policy.Name)
 	}
@@ -99,20 +112,25 @@ func CompileTree(name string, tr *core.Transform, stretch int, est Estimator, w 
 	compilations.Add(1)
 	sup := newSupportIndex(tr)
 	edges := tr.Policy.G.Edges
-	plans := make([]treeQueryPlan, w.Len())
+	// aliasCoeffs[i]·n is query i's Lemma 4.10 constant correction; nil for
+	// Case I policies, which need none.
+	var aliasCoeffs []float64
+	if tr.Alias >= 0 {
+		aliasCoeffs = make([]float64, w.Len())
+	}
+	rb := sparse.NewBuilder(w.Len(), len(edges))
 	for i, q := range w.Queries {
-		qp := &plans[i]
-		if tr.Alias >= 0 {
-			qp.hasAlias = true
-			qp.aliasCoeff = q.Coeff(tr.Alias)
+		if aliasCoeffs != nil {
+			aliasCoeffs[i] = q.Coeff(tr.Alias)
 		}
 		for _, j := range sup.edges(q) {
 			if c := tr.QueryCoeffOnEdge(q, edges[j]); c != 0 {
-				qp.edges = append(qp.edges, j)
-				qp.coeffs = append(qp.coeffs, c)
+				rb.Add(i, j, c)
 			}
 		}
 	}
+	recon := pick(rb.Build())
+	queries := w.Len()
 	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
 		if err := checkDomain(w, x); err != nil {
 			return nil, err
@@ -126,22 +144,17 @@ func CompileTree(name string, tr *core.Transform, stretch int, est Estimator, w 
 			effEps = core.EffectiveEpsilon(eps, stretch)
 		}
 		xge := est(xg, effEps, src)
-		n := sum(x)
-		out := make([]float64, len(plans))
-		for i := range plans {
-			qp := &plans[i]
-			var v float64
-			if qp.hasAlias {
-				v = qp.aliasCoeff * n
+		out := make([]float64, queries)
+		if aliasCoeffs != nil {
+			n := sum(x)
+			for i, c := range aliasCoeffs {
+				out[i] = c * n
 			}
-			for t, j := range qp.edges {
-				v += qp.coeffs[t] * xge[j]
-			}
-			out[i] = v
 		}
+		recon.AddApply(out, xge)
 		return out, nil
 	}
-	return &Prepared{Name: name, answer: answer}, nil
+	return &Prepared{Name: name, answer: answer, op: recon}, nil
 }
 
 // supportIndex narrows the edges that can carry nonzero transformed

@@ -153,6 +153,7 @@ func CompileThetaLineGrouped(name string, k, theta int, kind mech.OracleKind, w 
 		runs[i] = lay.runsForQuery(q)
 	}
 	compilations.Add(1)
+	truth := &range1DOp{k: w.K, ranges: ranges}
 	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
 		if err := checkDomain(w, x); err != nil {
 			return nil, err
@@ -165,18 +166,16 @@ func CompileThetaLineGrouped(name string, k, theta int, kind mech.OracleKind, w 
 		for g, sz := range lay.groupSizes {
 			oracles[g] = mech.NewOracle(kind, sz, effEps, src)
 		}
-		prefix := workload.PrefixSums(x)
 		out := make([]float64, len(ranges))
-		for i, r := range ranges {
-			v := workload.EvalRange1D(prefix, r)
+		truth.Apply(out, x)
+		for i := range ranges {
 			for _, run := range runs[i] {
-				v += run.sign * oracles[run.group].IntervalNoise(run.lo, run.hi)
+				out[i] += run.sign * oracles[run.group].IntervalNoise(run.lo, run.hi)
 			}
-			out[i] = v
 		}
 		return out, nil
 	}
-	return &Prepared{Name: name, answer: answer}, nil
+	return &Prepared{Name: name, answer: answer, op: truth}, nil
 }
 
 func oracleKindName(kind mech.OracleKind) string {
