@@ -19,7 +19,7 @@ test:
 # used for the perf trajectory.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
-	$(GO) run ./cmd/blowfishbench -exp table1,fig3,fig10a,fig10b,planreuse -json $(BENCH_JSON)
+	$(GO) run ./cmd/blowfishbench -exp table1,fig3,fig10a,fig10b,fig10spectral,planreuse -json $(BENCH_JSON)
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

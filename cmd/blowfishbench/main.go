@@ -13,11 +13,13 @@
 //	blowfishbench -exp all -json BENCH_eval.json
 //
 // Experiment ids: table1, fig3, fig10a, fig10b, planreuse, sparse (the
-// dense-vs-sparse answer-path timing sweep), and figNx where N∈{8,9} and
-// x∈{a..h} (fig8 and fig9 alone run all four workloads at both of that
-// figure's ε values). Results are deterministic for a fixed -seed at every
-// -parallel setting: experiment noise streams are pre-split in a fixed
-// serial order before work fans out.
+// dense-vs-sparse answer-path timing sweep), fig10spectral (the dense-vs-
+// Lanczos lower-bound engine comparison, with equivalence asserted wherever
+// the dense reference is feasible), and figNx where N∈{8,9} and x∈{a..h}
+// (fig8 and fig9 alone run all four workloads at both of that figure's ε
+// values). Results are deterministic for a fixed -seed at every -parallel
+// setting: experiment noise streams are pre-split in a fixed serial order
+// before work fans out.
 package main
 
 import (
@@ -61,7 +63,7 @@ func main() {
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "planreuse", "sparse"}
+		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "fig10spectral", "planreuse", "sparse"}
 	}
 	report := benchReport{
 		Schema:      "blowfishbench/v1",
@@ -169,6 +171,14 @@ func run(id string, opts eval.Options, full bool, out io.Writer) ([]*eval.Table,
 		}
 	case id == "fig10b":
 		if err := emit(eval.SVD2DExperiment(fig10Options(full, opts.Parallelism))); err != nil {
+			return nil, err
+		}
+	case id == "fig10spectral":
+		o := eval.QuickFig10Spectral()
+		if full {
+			o = eval.DefaultFig10Spectral()
+		}
+		if err := emit(eval.Fig10SpectralExperiment(o)); err != nil {
 			return nil, err
 		}
 	case id == "planreuse":

@@ -124,3 +124,18 @@ func TestWriteReport(t *testing.T) {
 		t.Fatalf("report round-trip mismatch: %+v", back)
 	}
 }
+
+func TestRunFig10Spectral(t *testing.T) {
+	// The quick sweep always runs the dense reference, so this doubles as a
+	// dense-vs-Lanczos equivalence check at the CLI layer.
+	tabs, err := run("fig10spectral", eval.Quick(), false, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 {
+		t.Fatalf("fig10spectral produced %d tables", len(tabs))
+	}
+	if got := len(tabs[0].Rows); got != len(eval.QuickFig10Spectral().Points) {
+		t.Fatalf("fig10spectral swept %d points", got)
+	}
+}

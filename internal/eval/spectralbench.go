@@ -1,0 +1,189 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/privacylab/blowfish/internal/lowerbound"
+	"github.com/privacylab/blowfish/internal/policy"
+)
+
+// SpectralPoint is one sweep point of the fig10spectral comparison: the
+// Corollary A.2 bound for the all-ranges workload over Dims under the
+// distance-threshold policy G^θ.
+type SpectralPoint struct {
+	Dims  []int
+	Theta int
+}
+
+// Fig10SpectralOptions sizes the dense-vs-Lanczos spectral comparison.
+type Fig10SpectralOptions struct {
+	Eps, Delta float64
+	Points     []SpectralPoint
+	// DenseMaxEdges caps the dense edge-domain reference; past it the exact
+	// Cholesky-reduced engine takes over as reference while the domain fits
+	// lowerbound.ReducedEigenMaxDomain. Points beyond both (the true
+	// frontier) report the Lanczos cells only — certified lower bounds with
+	// no exact value to compare against (NaN reference cells).
+	DenseMaxEdges int
+	// MaxDelta is the dense-vs-Lanczos equivalence gate, measured as
+	// max |σ²_lanczos − σ²_dense| relative to the spectral radius over the
+	// resolved top of the spectrum; the experiment errors out beyond it.
+	// 0 means 1e-9.
+	MaxDelta float64
+}
+
+// QuickFig10Spectral returns small sweep points where the dense reference
+// always runs, so every CI execution asserts dense-vs-Lanczos equivalence.
+func QuickFig10Spectral() Fig10SpectralOptions {
+	return Fig10SpectralOptions{
+		Eps: 1, Delta: 0.001,
+		Points: []SpectralPoint{
+			{Dims: []int{64}, Theta: 1},
+			{Dims: []int{128}, Theta: 2},
+			{Dims: []int{8, 8}, Theta: 1},
+		},
+		DenseMaxEdges: 4096,
+	}
+}
+
+// DefaultFig10Spectral returns the paper-scale sweep: the dense reference
+// runs up to ~2k edges (tens of seconds per bound), the Cholesky-reduced
+// reference covers the remaining points within 1024 cells, and the Lanczos
+// path continues alone to k = 4096 and 64² grids beyond every exact
+// engine's reach.
+func DefaultFig10Spectral() Fig10SpectralOptions {
+	return Fig10SpectralOptions{
+		Eps: 1, Delta: 0.001,
+		Points: []SpectralPoint{
+			{Dims: []int{256}, Theta: 1},
+			{Dims: []int{256}, Theta: 4},
+			{Dims: []int{512}, Theta: 4},
+			{Dims: []int{1024}, Theta: 1},
+			{Dims: []int{2048}, Theta: 1},
+			{Dims: []int{1024}, Theta: 4},
+			{Dims: []int{4096}, Theta: 1},
+			{Dims: []int{16, 16}, Theta: 1},
+			{Dims: []int{32, 32}, Theta: 2},
+			{Dims: []int{64, 64}, Theta: 3},
+		},
+		DenseMaxEdges: 2100,
+	}
+}
+
+// Fig10SpectralExperiment runs every sweep point through the Lanczos
+// spectral path and, wherever an exact engine is feasible (dense Gram+tred2
+// up to DenseMaxEdges edges, the Cholesky-reduced k×k solve up to
+// lowerbound.ReducedEigenMaxDomain cells), through that reference too. It
+// reports seconds per bound on each engine, their speedup, the
+// eigenvalue-space deviation of the resolved spectrum, and the bound ratio
+// — the Lanczos value is a certified lower bound on the exact one, so the
+// ratio reads as its tightness (near 1 on fast-decaying spectra, down to
+// ~0.4 on flat ones). Any spectral deviation beyond MaxDelta, or a Lanczos
+// bound above the exact bound, fails the experiment, so every run with a
+// reference doubles as an equivalence check; frontier points past every
+// exact engine report the Lanczos cells alone (NaN reference columns).
+// Points run serially: the cells are wall-clock measurements.
+func Fig10SpectralExperiment(o Fig10SpectralOptions) (*Table, error) {
+	maxDelta := o.MaxDelta
+	if maxDelta <= 0 {
+		maxDelta = 1e-9
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Figure 10 spectral engine: exact (dense/reduced) vs Lanczos (eps=%g, delta=%g)",
+			o.Eps, o.Delta),
+		Metric:  "seconds per bound / speedup / max |dLambda|/lambda_max / bound ratio",
+		Columns: []string{"exact s/bound", "lanczos s/bound", "speedup", "max dLambda", "bound ratio"},
+	}
+	for _, pt := range o.Points {
+		label, gs, err := spectralSource(pt)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := policy.DistanceThreshold(pt.Dims, pt.Theta)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		sBound, ssv, err := lowerbound.SVDBoundSpectral(gs, pol, o.Eps, o.Delta, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fig10spectral %s lanczos: %w", label, err)
+		}
+		lanczosSec := time.Since(start).Seconds()
+
+		var eBound float64
+		var esv []float64
+		exactSec := math.NaN()
+		switch {
+		case len(pol.G.Edges) <= o.DenseMaxEdges:
+			start = time.Now()
+			eBound, esv, err = lowerbound.SVDBoundDense(gs, pol, o.Eps, o.Delta)
+			if err != nil {
+				return nil, fmt.Errorf("eval: fig10spectral %s dense: %w", label, err)
+			}
+			exactSec = time.Since(start).Seconds()
+		case pol.K <= lowerbound.ReducedEigenMaxDomain:
+			start = time.Now()
+			eBound, esv, err = lowerbound.SVDBoundReduced(gs, pol, o.Eps, o.Delta)
+			if err != nil {
+				return nil, fmt.Errorf("eval: fig10spectral %s reduced: %w", label, err)
+			}
+			exactSec = time.Since(start).Seconds()
+		}
+		speedup, delta, ratio := math.NaN(), math.NaN(), math.NaN()
+		if esv != nil {
+			if lanczosSec > 0 {
+				speedup = exactSec / lanczosSec
+			}
+			// Compare the resolved spectra in eigenvalue (σ²) space relative
+			// to the spectral radius — the resolution both engines work at;
+			// past the operator's rank each reports rounding-level zeros.
+			lmax := esv[0] * esv[0]
+			delta = 0
+			n := len(ssv)
+			if len(esv) < n {
+				n = len(esv)
+			}
+			for i := 0; i < n; i++ {
+				if d := math.Abs(ssv[i]*ssv[i]-esv[i]*esv[i]) / (lmax + 1e-300); d > delta {
+					delta = d
+				}
+			}
+			if delta > maxDelta {
+				return nil, fmt.Errorf(
+					"eval: fig10spectral %s: Lanczos-vs-exact eigenvalue deviation %g exceeds %g",
+					label, delta, maxDelta)
+			}
+			ratio = sBound / eBound
+			if ratio > 1+1e-9 {
+				return nil, fmt.Errorf(
+					"eval: fig10spectral %s: spectral bound %g exceeds exact bound %g",
+					label, sBound, eBound)
+			}
+		}
+		t.Rows = append(t.Rows, label)
+		t.Cells = append(t.Cells, []float64{exactSec, lanczosSec, speedup, delta, ratio})
+	}
+	return t, nil
+}
+
+func spectralSource(pt SpectralPoint) (string, lowerbound.GramSource, error) {
+	switch len(pt.Dims) {
+	case 1:
+		return fmt.Sprintf("1D k=%d theta=%d", pt.Dims[0], pt.Theta),
+			lowerbound.RangeGramSource1D(pt.Dims[0]), nil
+	case 0:
+		return "", nil, fmt.Errorf("eval: fig10spectral point without dimensions")
+	default:
+		label := fmt.Sprintf("%dD ", len(pt.Dims))
+		for i, d := range pt.Dims {
+			if i > 0 {
+				label += "x"
+			}
+			label += fmt.Sprintf("%d", d)
+		}
+		return fmt.Sprintf("%s theta=%d", label, pt.Theta),
+			lowerbound.RangeGramSourceGrid(pt.Dims), nil
+	}
+}

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig10SpectralExperimentQuick(t *testing.T) {
+	o := QuickFig10Spectral()
+	tab, err := Fig10SpectralExperiment(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(o.Points) {
+		t.Fatalf("swept %d of %d points", len(tab.Rows), len(o.Points))
+	}
+	for ri, row := range tab.Cells {
+		// Quick points all fit under DenseMaxEdges, so the dense reference,
+		// speedup and deviation cells must be populated — and the deviation
+		// gate inside the experiment has already enforced ≤ 1e-9.
+		for ci, name := range tab.Columns {
+			if math.IsNaN(row[ci]) {
+				t.Fatalf("row %s: column %q is NaN", tab.Rows[ri], name)
+			}
+		}
+		if delta := row[3]; delta > 1e-9 {
+			t.Fatalf("row %s: deviation %g", tab.Rows[ri], delta)
+		}
+		if ratio := row[4]; ratio > 1+1e-9 || ratio < 0.5 {
+			t.Fatalf("row %s: bound ratio %g out of range", tab.Rows[ri], ratio)
+		}
+	}
+}
+
+func TestFig10SpectralExperimentReducedReference(t *testing.T) {
+	// Past the dense edge cap but within ReducedEigenMaxDomain the exact
+	// Cholesky-reduced engine must step in as the reference.
+	o := Fig10SpectralOptions{
+		Eps: 1, Delta: 0.001,
+		Points:        []SpectralPoint{{Dims: []int{64}, Theta: 1}},
+		DenseMaxEdges: 10,
+	}
+	tab, err := Fig10SpectralExperiment(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Cells[0]
+	for ci, name := range tab.Columns {
+		if math.IsNaN(row[ci]) {
+			t.Fatalf("column %q should be served by the reduced reference: %v", name, row)
+		}
+	}
+}
+
+func TestFig10SpectralExperimentFrontierIsLanczosOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Beyond both exact engines (k > ReducedEigenMaxDomain, edges past the
+	// dense cap) only the Lanczos cells are reported.
+	o := Fig10SpectralOptions{
+		Eps: 1, Delta: 0.001,
+		Points:        []SpectralPoint{{Dims: []int{1100}, Theta: 1}},
+		DenseMaxEdges: 10,
+	}
+	tab, err := Fig10SpectralExperiment(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Cells[0]
+	if !math.IsNaN(row[0]) || !math.IsNaN(row[2]) || !math.IsNaN(row[3]) || !math.IsNaN(row[4]) {
+		t.Fatalf("reference-derived cells should be NaN at the frontier: %v", row)
+	}
+	if math.IsNaN(row[1]) || row[1] <= 0 {
+		t.Fatalf("lanczos timing missing: %v", row)
+	}
+}

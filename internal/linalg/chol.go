@@ -1,0 +1,75 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/privacylab/blowfish/internal/par"
+)
+
+// ErrNotPositiveDefinite is returned when Cholesky meets a non-PD pivot;
+// callers (the reduced spectral path) treat it as "use another engine", not
+// as a hard failure.
+var ErrNotPositiveDefinite = fmt.Errorf("linalg: matrix is not positive definite")
+
+// cholParMinCols gates the per-pivot trailing-update fan-out, like the
+// eigensolver's inner-loop thresholds.
+const cholParMinCols = 128
+
+// Cholesky returns the upper-triangular factor R with A = RᵀR for a
+// symmetric positive-definite matrix. The factorization is right-looking —
+// after each pivot row is scaled, its outer product is subtracted from the
+// trailing upper triangle — so every access streams rows (the left-looking
+// dot-product form reads R column-wise with stride n, which thrashes the
+// cache on this O(n³) path). Each trailing entry still accumulates its
+// pivot contributions in ascending pivot order, the same chain as the
+// classical dot-product form, and each trailing row is written by exactly
+// one worker: results are bitwise identical at every worker count.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky wants square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	work := cloneScratch(a)
+	defer releaseScratch(work)
+	r := New(n, n)
+	for i := 0; i < n; i++ {
+		wrow := work.Row(i)
+		piv := wrow[i]
+		if piv <= 0 || math.IsNaN(piv) {
+			return nil, fmt.Errorf("%w (pivot %d = %g)", ErrNotPositiveDefinite, i, piv)
+		}
+		rii := math.Sqrt(piv)
+		rrow := r.Row(i)
+		rrow[i] = rii
+		for j := i + 1; j < n; j++ {
+			rrow[j] = wrow[j] / rii
+		}
+		trailing := n - i - 1
+		if trailing == 0 {
+			continue
+		}
+		update := func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				c := rrow[t]
+				if c == 0 {
+					continue
+				}
+				wt := work.Row(t)
+				for j := t; j < n; j++ {
+					wt[j] -= c * rrow[j]
+				}
+			}
+		}
+		w := workers()
+		if w <= 1 || trailing < cholParMinCols {
+			update(i+1, n)
+			continue
+		}
+		blocks := par.Blocks(trailing, 4*w, minRowsPerBlock)
+		par.Shared().Do(w, len(blocks), func(bi int) {
+			update(i+1+blocks[bi].Lo, i+1+blocks[bi].Hi)
+		})
+	}
+	return r, nil
+}

@@ -19,15 +19,25 @@ func SymEigenvalues(a *Matrix) ([]float64, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	d := make([]float64, n) // diagonal
-	e := make([]float64, n) // off-diagonal
-	work := a.Clone()
+	// The elimination clone and the d/e tridiagonal buffers all come from
+	// the pooled scratch workspace: Figure 10 sweep loops call this once per
+	// (domain × policy) cell, and per-call clones dominated allocation.
+	work := cloneScratch(a)
+	defer releaseScratch(work)
+	de := newScratch(2, n)
+	defer releaseScratch(de)
+	d, e := de.Row(0), de.Row(1) // diagonal, off-diagonal
+	for i := 0; i < n; i++ {
+		d[i], e[i] = 0, 0
+	}
 	tred2(work, d, e)
 	if err := tql2(d, e); err != nil {
 		return nil, err
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(d)))
-	return d, nil
+	out := make([]float64, n)
+	copy(out, d)
+	return out, nil
 }
 
 // SingularValues returns the singular values of a (any shape) in descending
@@ -85,18 +95,14 @@ func tred2(a *Matrix, d, e []float64) {
 			e[i] = scale * g
 			h -= f * g
 			d[l] = f - g
-			for j := 0; j <= l; j++ {
-				e[j] = 0
-			}
-			for j := 0; j <= l; j++ {
-				f = d[j]
-				g = e[j] + a.At(j, j)*f
-				for k := j + 1; k <= l; k++ {
-					g += a.At(k, j) * d[k]
-					e[k] += a.At(k, j) * f
-				}
-				e[j] = g
-			}
+			// First inner loop: e ← A·d over the stored lower triangle.
+			// The historical EISPACK form scatters into e[k] while
+			// accumulating e[j], which serializes the whole loop; expressed
+			// as one full symmetric dot product per output entry the rows
+			// become independent and fan out over the shared pool, with the
+			// per-entry add chain unchanged (ascending index), so the
+			// parallel form is bitwise identical to the serial scatter.
+			householderSymMul(a, d, e, l)
 			f = 0
 			for j := 0; j <= l; j++ {
 				e[j] /= h
@@ -149,7 +155,10 @@ func tql2(d, e []float64) error {
 			}
 			iter++
 			if iter > 50 {
-				return fmt.Errorf("linalg: tql2 failed to converge at index %d", l)
+				dd := math.Abs(d[l]) + math.Abs(d[l+1])
+				return fmt.Errorf(
+					"linalg: tql2 failed to converge at eigenvalue index %d after %d iterations (off-diagonal |e[%d]| = %g against local scale %g)",
+					l, iter-1, l, math.Abs(e[l]), dd)
 			}
 			g := (d[l+1] - d[l]) / (2 * e[l])
 			r := math.Hypot(g, 1)

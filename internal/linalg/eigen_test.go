@@ -148,6 +148,31 @@ func TestSingularValuesFrobenius(t *testing.T) {
 	}
 }
 
+func TestSymEigenvaluesParallelBitwise(t *testing.T) {
+	// The tred2 Householder matvec and rank-2 update fan out for matrices
+	// this wide; every worker count must produce bitwise-identical spectra.
+	rng := rand.New(rand.NewSource(19))
+	b := randomMatrix(rng, 200, 200)
+	a := Mul(b, b.T())
+	prev := SetParallelism(1)
+	serial, err := SymEigenvalues(a)
+	if err != nil {
+		SetParallelism(prev)
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	parallel, err := SymEigenvalues(a)
+	SetParallelism(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("eigenvalue %d differs across parallelism: %.17g vs %.17g", i, serial[i], parallel[i])
+		}
+	}
+}
+
 func TestSymEigenvaluesEmpty(t *testing.T) {
 	ev, err := SymEigenvalues(New(0, 0))
 	if err != nil || len(ev) != 0 {

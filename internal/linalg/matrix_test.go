@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -263,5 +264,71 @@ func TestQuickSolveProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 5, 40, 160} {
+		b := randomMatrix(rng, n, n)
+		a := Mul(b, b.T())
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)) // safely positive definite
+		}
+		r, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("n=%d: factor not upper triangular at (%d,%d)", n, i, j)
+				}
+			}
+		}
+		back := Mul(r.T(), r)
+		var scale float64
+		for _, v := range a.Data {
+			if av := math.Abs(v); av > scale {
+				scale = av
+			}
+		}
+		if diff := MaxAbsDiff(a, back); diff > 1e-10*scale {
+			t.Fatalf("n=%d: RᵀR differs from A by %g", n, diff)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestCholeskyParallelBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := 200
+	b := randomMatrix(rng, n, n)
+	a := Mul(b, b.T())
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	prev := SetParallelism(1)
+	serial, err := Cholesky(a)
+	if err != nil {
+		SetParallelism(prev)
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	parallel, err := Cholesky(a)
+	SetParallelism(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Data {
+		if serial.Data[i] != parallel.Data[i] {
+			t.Fatalf("Cholesky not bitwise deterministic across parallelism at flat index %d", i)
+		}
 	}
 }

@@ -203,9 +203,43 @@ func Gram(a *Matrix) *Matrix { return rowGram(a.T()) }
 // Mul(a, a.T()) bitwise for finite inputs.
 func GramT(a *Matrix) *Matrix { return rowGram(a) }
 
-// rank2ParMinCols gates the eigensolver's parallel rank-2 update: below this
-// width the per-step fan-out costs more than the column arithmetic.
+// rank2ParMinCols gates the eigensolver's parallel rank-2 update and the
+// Householder symmetric matvec: below this width the per-step fan-out costs
+// more than the column arithmetic.
 const rank2ParMinCols = 128
+
+// householderSymMul computes the tred2 first inner loop, e[j] ← (A·d)[j] for
+// j in [0, l] over the stored lower triangle of a. Each output entry sums
+// row j's stored prefix (a[j][0..j], contiguous) and column j's tail below
+// the diagonal (a[k][j], k > j) in ascending index order — exactly the add
+// chain of the serial EISPACK scatter loop — so every e[j] is independent and
+// the row blocks fan out bitwise-identically over the shared pool.
+func householderSymMul(a *Matrix, d, e []float64, l int) {
+	cols := l + 1
+	w := workers()
+	if w <= 1 || cols < rank2ParMinCols {
+		householderSymMulRows(a, d, e, l, 0, cols)
+		return
+	}
+	blocks := par.Blocks(cols, 4*w, minRowsPerBlock)
+	par.Shared().Do(w, len(blocks), func(bi int) {
+		householderSymMulRows(a, d, e, l, blocks[bi].Lo, blocks[bi].Hi)
+	})
+}
+
+func householderSymMulRows(a *Matrix, d, e []float64, l, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		row := a.Row(j)
+		var g float64
+		for i := 0; i <= j; i++ {
+			g += row[i] * d[i]
+		}
+		for k := j + 1; k <= l; k++ {
+			g += a.At(k, j) * d[k]
+		}
+		e[j] = g
+	}
+}
 
 // rank2Update applies the tred2 Householder step to columns 0..l of the lower
 // triangle: a[k][j] -= d[j]*e[k] + e[j]*d[k] for k in [j, l]. d and e are

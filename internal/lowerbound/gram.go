@@ -1,13 +1,8 @@
 package lowerbound
 
 import (
-	"fmt"
-	"math"
-
-	"github.com/privacylab/blowfish/internal/core"
 	"github.com/privacylab/blowfish/internal/linalg"
 	"github.com/privacylab/blowfish/internal/policy"
-	"github.com/privacylab/blowfish/internal/sparse"
 )
 
 // The Figure 10 sweeps evaluate the SVD bound on the all-ranges workloads
@@ -63,59 +58,18 @@ func RangeGramGrid(dims []int) *linalg.Matrix {
 }
 
 // SVDBoundFromGram evaluates the Corollary A.2 bound given the vertex-domain
-// Gram matrix WᵀW of the workload: it forms the edge-domain Gram
-// P_Gᵀ(WᵀW)P_G through the generic sparse congruence kernel (P_G's columns
-// carry two ±1 entries, one for columns incident on ⊥, so the assembly is
-// O(|E|²) with a four-term expansion per entry — and parallel over rows),
-// takes its eigenvalues, and returns P(ε,δ)·(Σλᵢ^(1/2))²/n_G.
+// Gram matrix WᵀW of the workload. Policies with at most DenseEigenMaxDim
+// edges form the edge-domain Gram P_Gᵀ(WᵀW)P_G through the sparse
+// congruence kernel and take its dense eigenvalues — bitwise identical to
+// the pre-spectral engine; larger policies route through the Lanczos path
+// in spectral.go, which never materializes the edge Gram.
 func SVDBoundFromGram(gram *linalg.Matrix, p *policy.Policy, eps, delta float64) (float64, error) {
-	// The transform validates the policy (connectivity, alias choice).
-	if _, err := core.New(p); err != nil {
-		return 0, err
-	}
-	edges := p.G.Edges
-	bottom := p.Bottom()
-	// Rows of pt are the columns of P_G over the vertex domain: (U, +1) then
-	// (V, −1), dropping the ⊥ entry (q[⊥] = 0); the Case II alias keeps its
-	// real coefficients, so no special casing. The stored entry order makes
-	// CongruenceDense reproduce the previous explicit four-term expansion
-	// bitwise.
-	pt := sparse.NewBuilder(len(edges), p.K)
-	hasBottom := p.HasBottom
-	for a, e := range edges {
-		if !(hasBottom && e.U == bottom) {
-			pt.Add(a, e.U, 1)
-		}
-		if !(hasBottom && e.V == bottom) {
-			pt.Add(a, e.V, -1)
-		}
-	}
-	eg := pt.Build().CongruenceDense(gram)
-	ev, err := linalg.SymEigenvalues(eg)
-	if err != nil {
-		return 0, fmt.Errorf("lowerbound: edge Gram eigenvalues: %w", err)
-	}
-	var sum float64
-	for _, v := range ev {
-		if v > 0 {
-			sum += math.Sqrt(v)
-		}
-	}
-	return PFactor(eps, delta) * sum * sum / float64(len(edges)), nil
+	return SVDBoundFromSource(DenseGramSource(gram), p, eps, delta)
 }
 
 // SVDBoundDPFromGram evaluates the plain-DP Li–Miklau bound from the
-// vertex-domain Gram matrix directly.
+// vertex-domain Gram matrix directly, with the same dense-below /
+// Lanczos-above dispatch on the domain size.
 func SVDBoundDPFromGram(gram *linalg.Matrix, eps, delta float64) (float64, error) {
-	ev, err := linalg.SymEigenvalues(gram)
-	if err != nil {
-		return 0, fmt.Errorf("lowerbound: Gram eigenvalues: %w", err)
-	}
-	var sum float64
-	for _, v := range ev {
-		if v > 0 {
-			sum += math.Sqrt(v)
-		}
-	}
-	return PFactor(eps, delta) * sum * sum / float64(gram.Cols), nil
+	return SVDBoundDPFromSource(DenseGramSource(gram), eps, delta)
 }

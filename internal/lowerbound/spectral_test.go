@@ -1,0 +1,363 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/policy"
+)
+
+func TestRangeGramSource1DMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, k := range []int{1, 2, 7, 33, 128} {
+		src := RangeGramSource1D(k)
+		dense := RangeGram1D(k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if src.GramAt(i, j) != dense.At(i, j) {
+					t.Fatalf("k=%d: GramAt(%d,%d) = %g, dense %g", k, i, j, src.GramAt(i, j), dense.At(i, j))
+				}
+			}
+		}
+		x := make([]float64, k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, k)
+		src.Apply(got, x)
+		want := linalg.MulVec(dense, x)
+		var scale float64
+		for _, v := range want {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-11*(scale+1) {
+				t.Fatalf("k=%d: structured matvec[%d] = %.15g, dense %.15g", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangeGramSourceGridMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, dims := range [][]int{{4}, {3, 5}, {4, 4}, {2, 3, 4}} {
+		src := RangeGramSourceGrid(dims)
+		dense := RangeGramGrid(dims)
+		k, _ := src.Dims()
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if src.GramAt(i, j) != dense.At(i, j) {
+					t.Fatalf("dims=%v: GramAt(%d,%d) = %g, dense %g", dims, i, j, src.GramAt(i, j), dense.At(i, j))
+				}
+			}
+		}
+		x := make([]float64, k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, k)
+		src.Apply(got, x)
+		want := linalg.MulVec(dense, x)
+		var scale float64
+		for _, v := range want {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-11*(scale+1) {
+				t.Fatalf("dims=%v: structured matvec[%d] = %.15g, dense %.15g", dims, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEdgeGramOperatorMatchesCongruence(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	k := 24
+	p, err := policy.DistanceThreshold([]int{k}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := RangeGramSource1D(k)
+	op := EdgeGramOperator(gs, p)
+	dense := edgeBasis(p).CongruenceDense(gs.Dense())
+	n, _ := op.Dims()
+	if n != dense.Rows {
+		t.Fatalf("operator is %d wide, dense %d", n, dense.Rows)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, n)
+	op.Apply(got, x)
+	want := linalg.MulVec(dense, x)
+	var scale float64
+	for _, v := range want {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-10*(scale+1) {
+			t.Fatalf("edge operator matvec[%d] = %.15g, dense %.15g", i, got[i], want[i])
+		}
+	}
+	var wantTr float64
+	for i := 0; i < n; i++ {
+		wantTr += dense.At(i, i)
+	}
+	if tr := edgeGramTrace(edgeBasis(p), gs); math.Abs(tr-wantTr) > 1e-9*(wantTr+1) {
+		t.Fatalf("edge Gram trace %g, dense %g", tr, wantTr)
+	}
+}
+
+func TestSVDBoundSpectralAgreesWithDense(t *testing.T) {
+	for _, tc := range []struct {
+		k, theta int
+	}{{48, 1}, {48, 4}, {32, 8}} {
+		p, err := policy.DistanceThreshold([]int{tc.k}, tc.theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs := RangeGramSource1D(tc.k)
+		db, dsv, err := SVDBoundDense(gs, p, 1, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, ssv, err := SVDBoundSpectral(gs, p, 1, 0.001, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Top singular values agree to 1e-9 in eigenvalue (σ²) space,
+		// relative to the spectral radius — the resolution both solvers
+		// actually work at; beyond the operator's mathematical rank each
+		// reports its own rounding-level zero.
+		n := len(ssv)
+		if len(dsv) < n {
+			n = len(dsv)
+		}
+		lmax := dsv[0] * dsv[0]
+		for i := 0; i < n; i++ {
+			if d := math.Abs(ssv[i]*ssv[i] - dsv[i]*dsv[i]); d > 1e-9*(lmax+1) {
+				t.Fatalf("k=%d θ=%d: σ[%d] spectral %.15g vs dense %.15g", tc.k, tc.theta, i, ssv[i], dsv[i])
+			}
+		}
+		// The spectral bound is certified ≤ the exact bound, and with the
+		// default rank covering these small spectra it should match tightly.
+		if sb > db*(1+1e-9) {
+			t.Fatalf("k=%d θ=%d: spectral bound %g exceeds dense bound %g", tc.k, tc.theta, sb, db)
+		}
+		if sb < db*0.999 {
+			t.Fatalf("k=%d θ=%d: spectral bound %g far below dense bound %g at full rank", tc.k, tc.theta, sb, db)
+		}
+	}
+}
+
+func TestSVDBoundSpectralPartialRankIsLowerBound(t *testing.T) {
+	// With the rank deliberately starved the tail correction must keep the
+	// result a lower bound that improves monotonically-ish toward the dense
+	// value.
+	k := 64
+	p, err := policy.DistanceThreshold([]int{k}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := RangeGramSource1D(k)
+	db, _, err := SVDBoundDense(gs, p, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, rank := range []int{4, 16, 64} {
+		sb, _, err := SVDBoundSpectral(gs, p, 1, 0.001, rank, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb > db*(1+1e-9) {
+			t.Fatalf("rank %d: spectral bound %g exceeds dense %g", rank, sb, db)
+		}
+		if sb < 0.5*db {
+			t.Fatalf("rank %d: spectral bound %g implausibly loose vs dense %g", rank, sb, db)
+		}
+		if sb < prev*(1-1e-9) {
+			t.Fatalf("bound regressed with rank: %g after %g", sb, prev)
+		}
+		prev = sb
+	}
+}
+
+func TestSVDBoundDPFromSourceStructured(t *testing.T) {
+	k := 96
+	gs := RangeGramSource1D(k)
+	a, err := SVDBoundDPFromSource(gs, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SVDBoundDPFromGram(RangeGram1D(k), 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b)/b > 1e-9 {
+		t.Fatalf("structured DP bound %g vs dense %g", a, b)
+	}
+}
+
+func TestSVDBoundReducedMatchesDense(t *testing.T) {
+	// The Cholesky k×k reduction is exact: identical bound and identical
+	// nonzero spectrum as the dense edge-domain solve.
+	for _, tc := range []struct {
+		dims  []int
+		theta int
+	}{{[]int{40}, 1}, {[]int{40}, 4}, {[]int{6, 6}, 2}} {
+		p, err := policy.DistanceThreshold(tc.dims, tc.theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gs GramSource
+		if len(tc.dims) == 1 {
+			gs = RangeGramSource1D(tc.dims[0])
+		} else {
+			gs = RangeGramSourceGrid(tc.dims)
+		}
+		db, dsv, err := SVDBoundDense(gs, p, 1, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, rsv, err := SVDBoundReduced(gs, p, 1, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 1e-6 on the bound: the dense path's |E|−rank rounding-level zero
+		// eigenvalues each contribute √(ε·λmax) to its nuclear sum, noise
+		// the rank-k reduction doesn't carry.
+		if math.Abs(rb-db)/db > 1e-6 {
+			t.Fatalf("dims=%v θ=%d: reduced bound %.15g vs dense %.15g", tc.dims, tc.theta, rb, db)
+		}
+		// The two spectra have different lengths (k vs |E|); the overlap must
+		// agree and whatever the longer one carries past it is rank-deficient
+		// zero padding.
+		lmax := dsv[0] * dsv[0]
+		n := len(rsv)
+		if len(dsv) < n {
+			n = len(dsv)
+		}
+		for i := 0; i < n; i++ {
+			if d := math.Abs(rsv[i]*rsv[i] - dsv[i]*dsv[i]); d > 1e-9*(lmax+1) {
+				t.Fatalf("dims=%v θ=%d: σ[%d] reduced %.15g vs dense %.15g", tc.dims, tc.theta, i, rsv[i], dsv[i])
+			}
+		}
+		for _, tail := range [][]float64{rsv[n:], dsv[n:]} {
+			for _, v := range tail {
+				if v*v > 1e-9*(lmax+1) {
+					t.Fatalf("dims=%v θ=%d: spectrum tail %g not zero", tc.dims, tc.theta, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSVDBoundFromSourceDispatchesAboveThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// k=1024, θ=1 has 1023 edges — past DenseEigenMaxDim but within
+	// ReducedEigenMaxDomain — so the automatic path must take the exact
+	// Cholesky-reduced branch; one domain further it must take Lanczos.
+	k := DenseEigenMaxDim + 24
+	p, err := policy.DistanceThreshold([]int{k}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.G.Edges) <= DenseEigenMaxDim {
+		t.Fatalf("test policy has %d edges, want > %d", len(p.G.Edges), DenseEigenMaxDim)
+	}
+	gs := RangeGramSource1D(k)
+	auto, err := SVDBoundFromSource(gs, p, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, _, err := SVDBoundReduced(gs, p, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto != reduced {
+		t.Fatalf("auto dispatch %.17g != explicit reduced %.17g", auto, reduced)
+	}
+
+	k2 := ReducedEigenMaxDomain + 76
+	p2, err := policy.DistanceThreshold([]int{k2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs2 := RangeGramSource1D(k2)
+	auto2, err := SVDBoundFromSource(gs2, p2, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectral, _, err := SVDBoundSpectral(gs2, p2, 1, 0.001, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto2 != spectral {
+		t.Fatalf("auto dispatch %.17g != explicit spectral %.17g", auto2, spectral)
+	}
+}
+
+func TestNuclearSumClosedForm(t *testing.T) {
+	// The closed-form spectra ((k+1)·K⁻¹ for the Dirichlet path Laplacian;
+	// Kronecker products across grid axes) must reproduce the dense
+	// eigensolve's nuclear sum.
+	for _, k := range []int{1, 2, 9, 64} {
+		ev, err := linalg.SymEigenvalues(RangeGram1D(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for _, v := range ev {
+			if v > 0 {
+				want += math.Sqrt(v)
+			}
+		}
+		got := RangeGramSource1D(k).(*rangeGram1D).NuclearSum()
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("k=%d: closed-form nuclear sum %.15g vs dense %.15g", k, got, want)
+		}
+	}
+	dims := []int{5, 7}
+	ev, err := linalg.SymEigenvalues(RangeGramGrid(dims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, v := range ev {
+		if v > 0 {
+			want += math.Sqrt(v)
+		}
+	}
+	got := RangeGramSourceGrid(dims).(*rangeGramGrid).NuclearSum()
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("dims=%v: closed-form nuclear sum %.15g vs dense %.15g", dims, got, want)
+	}
+}
+
+func TestSVDBoundDPClosedFormContinuity(t *testing.T) {
+	// At the dense/closed-form boundary the DP bound must be continuous:
+	// evaluate one domain on both engines and compare.
+	k := ReducedEigenMaxDomain // dense path at this size
+	gs := RangeGramSource1D(k)
+	dense, err := SVDBoundDPFromSource(gs, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := gs.(*rangeGram1D).NuclearSum()
+	closed := PFactor(1, 0.001) * sum * sum / float64(k)
+	if math.Abs(closed-dense)/dense > 1e-9 {
+		t.Fatalf("closed-form DP bound %.15g vs dense %.15g at k=%d", closed, dense, k)
+	}
+}

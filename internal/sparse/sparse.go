@@ -157,13 +157,31 @@ const (
 // the single process-wide setting for all matrix kernels.
 func workers() int { return par.Workers(linalg.Parallelism()) }
 
+// The row kernels below consume stored entries 4 per iteration with a scalar
+// tail (ROADMAP "SIMD-friendly CSR kernels"). The single accumulator still
+// folds terms strictly left to right — the identical float add chain as the
+// one-term-at-a-time reference — so the unroll only amortizes loop control
+// and widens the load window for the hardware prefetcher; results are
+// bitwise unchanged (TestApplyUnrolledBitwiseVsSimple). The unrolled body is
+// written out in both kernels rather than shared through a helper: Go does
+// not inline functions containing loops, and a per-row call costs more than
+// the short rows of compiled strategies take to evaluate.
+
 // applyRows computes dst[lo:hi] of A·x (overwriting), accumulating each row
 // in stored order.
 func (m *CSR) applyRows(dst, x []float64, lo, hi int) {
+	val, col := m.Val, m.ColIdx
 	for i := lo; i < hi; i++ {
+		p, end := m.RowPtr[i], m.RowPtr[i+1]
 		var s float64
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			s += m.Val[p] * x[m.ColIdx[p]]
+		for ; p+4 <= end; p += 4 {
+			s += val[p] * x[col[p]]
+			s += val[p+1] * x[col[p+1]]
+			s += val[p+2] * x[col[p+2]]
+			s += val[p+3] * x[col[p+3]]
+		}
+		for ; p < end; p++ {
+			s += val[p] * x[col[p]]
 		}
 		dst[i] = s
 	}
@@ -174,8 +192,31 @@ func (m *CSR) applyRows(dst, x []float64, lo, hi int) {
 // accumulation the precompiled strategy reconstructions use, so converting a
 // coefficient-list loop to a CSR row is bitwise neutral.
 func (m *CSR) addApplyRows(dst, x []float64, lo, hi int) {
+	val, col := m.Val, m.ColIdx
 	for i := lo; i < hi; i++ {
+		p, end := m.RowPtr[i], m.RowPtr[i+1]
 		s := dst[i]
+		for ; p+4 <= end; p += 4 {
+			s += val[p] * x[col[p]]
+			s += val[p+1] * x[col[p+1]]
+			s += val[p+2] * x[col[p+2]]
+			s += val[p+3] * x[col[p+3]]
+		}
+		for ; p < end; p++ {
+			s += val[p] * x[col[p]]
+		}
+		dst[i] = s
+	}
+}
+
+// ApplySimple is the pre-unroll reference matvec: one stored entry per
+// iteration, serial, overwriting dst. It is retained so tests can assert the
+// unrolled kernel is bitwise identical and so benchmarks can report the
+// unrolled-vs-simple gap.
+func (m *CSR) ApplySimple(dst, x []float64) {
+	m.checkVec(dst, x)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
 		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
 			s += m.Val[p] * x[m.ColIdx[p]]
 		}

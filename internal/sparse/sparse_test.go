@@ -299,3 +299,36 @@ func TestConcurrentApplyIsRaceFree(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestApplyUnrolledBitwiseVsSimple pins the 4-wide MulVec unroll to the
+// one-entry-at-a-time reference kernel: identical accumulation order means
+// identical bits, at every row length (tail handling included) and at every
+// worker count.
+func TestApplyUnrolledBitwiseVsSimple(t *testing.T) {
+	src := noise.NewSource(29)
+	for _, rows := range []int{1, 7, 64, 257} {
+		m := FromDense(randomSparse(rows, 101, 0.13, src))
+		x := randomVec(101, src)
+		simple := make([]float64, rows)
+		m.ApplySimple(simple, x)
+		got := make([]float64, rows)
+		m.Apply(got, x)
+		for i := range got {
+			if got[i] != simple[i] {
+				t.Fatalf("rows=%d: Apply row %d = %.17g, simple %.17g", rows, i, got[i], simple[i])
+			}
+		}
+		seed := randomVec(rows, src)
+		add := append([]float64(nil), seed...)
+		m.AddApply(add, x)
+		for i := range add {
+			want := seed[i]
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				want += m.Val[p] * x[m.ColIdx[p]]
+			}
+			if add[i] != want {
+				t.Fatalf("rows=%d: AddApply row %d = %.17g, reference %.17g", rows, i, add[i], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/privacylab/blowfish/internal/linalg"
+)
+
+// Spectral glue: the bridge between the Operator abstraction and the
+// matvec-only Lanczos engine in internal/linalg. Singular values of a
+// rectangular operator are read off the smaller of its two Gram operators
+// (x → Aᵀ(A·x) or x → A(Aᵀ·x)), applied via Apply against the operator and
+// its transpose — the dense Gram matrix is never formed.
+
+// Transposable is implemented by operators that can expose their transpose as
+// another Operator; ExtremeSingularValues needs it to run the Gram matvec.
+type Transposable interface {
+	TransposeOperator() Operator
+}
+
+// TransposeOperator returns the CSR transpose as an operator (a fresh CSR via
+// the counting transpose; callers that loop should cache it).
+func (m *CSR) TransposeOperator() Operator { return m.T() }
+
+// TransposeOperator adapts the dense matrix's transpose without copying it.
+func (d Dense) TransposeOperator() Operator { return denseT{m: d.M} }
+
+// denseT applies Mᵀ·x by streaming M's rows and scattering into dst, the
+// usual dense transpose-matvec.
+type denseT struct{ m *linalg.Matrix }
+
+// Dims returns the transposed shape.
+func (d denseT) Dims() (int, int) { return d.m.Cols, d.m.Rows }
+
+// Apply writes Mᵀ·x into dst.
+func (d denseT) Apply(dst, x []float64) {
+	if len(x) != d.m.Rows || len(dst) != d.m.Cols {
+		panic(fmt.Sprintf("sparse: denseT shape mismatch %d ← %dx%d · %d", len(dst), d.m.Cols, d.m.Rows, len(x)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	d.AddApply(dst, x)
+}
+
+// AddApply accumulates dst += Mᵀ·x.
+func (d denseT) AddApply(dst, x []float64) {
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := d.m.Row(i)
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// Transpose resolves the transpose of an operator: CSR and Dense natively,
+// anything else through the Transposable interface.
+func Transpose(op Operator) (Operator, error) {
+	if t, ok := op.(Transposable); ok {
+		return t.TransposeOperator(), nil
+	}
+	return nil, fmt.Errorf("sparse: operator %T cannot expose its transpose", op)
+}
+
+// gramOperator is the symmetric composition rev·(fwd·x): with fwd = A and
+// rev = Aᵀ it is AᵀA, with the roles swapped it is AAᵀ. The intermediate
+// vector comes from a pool, so one gramOperator can serve concurrent solves.
+type gramOperator struct {
+	fwd, rev Operator
+	n, inner int
+	scratch  sync.Pool
+}
+
+// NewGramOperator returns the symmetric operator rev·fwd (rev must be the
+// transpose of fwd, or at least have the mirrored shape).
+func NewGramOperator(fwd, rev Operator) (Operator, error) {
+	fr, fc := fwd.Dims()
+	rr, rc := rev.Dims()
+	if rr != fc || rc != fr {
+		return nil, fmt.Errorf("sparse: Gram operator shape mismatch: %dx%d vs transpose %dx%d", fr, fc, rr, rc)
+	}
+	g := &gramOperator{fwd: fwd, rev: rev, n: fc, inner: fr}
+	g.scratch.New = func() any {
+		s := make([]float64, g.inner)
+		return &s
+	}
+	return g, nil
+}
+
+// Dims returns the symmetric (cols, cols) shape.
+func (g *gramOperator) Dims() (int, int) { return g.n, g.n }
+
+// Apply writes rev(fwd(x)) into dst.
+func (g *gramOperator) Apply(dst, x []float64) {
+	tmp := g.scratch.Get().(*[]float64)
+	g.fwd.Apply(*tmp, x)
+	g.rev.Apply(dst, *tmp)
+	g.scratch.Put(tmp)
+}
+
+// AddApply accumulates dst += rev(fwd(x)).
+func (g *gramOperator) AddApply(dst, x []float64) {
+	tmp := g.scratch.Get().(*[]float64)
+	g.fwd.Apply(*tmp, x)
+	g.rev.AddApply(dst, *tmp)
+	g.scratch.Put(tmp)
+}
+
+// SymExtremeEigenvalues returns the k extreme eigenvalues of a symmetric
+// operator via the Lanczos engine (descending for Largest, ascending for
+// Smallest). The operator must be safe for concurrent Apply, which every
+// operator in this package is.
+func SymExtremeEigenvalues(op Operator, k int, tol float64, end linalg.SpectrumEnd) ([]float64, error) {
+	r, c := op.Dims()
+	if r != c {
+		return nil, fmt.Errorf("sparse: SymExtremeEigenvalues wants a square operator, got %dx%d", r, c)
+	}
+	return linalg.LanczosEigenvalues(r, k, end, op.Apply, linalg.LanczosOpts{Tol: tol})
+}
+
+// ExtremeSingularValues returns the k largest (descending) and k smallest
+// (ascending) singular values of op, computed from the smaller of its two
+// Gram operators via matvecs only. k is clamped to min(rows, cols); tol ≤ 0
+// uses the Lanczos default. Results agree with linalg.SingularValues to the
+// requested tolerance (relative to the spectral radius) without ever forming
+// the Gram matrix.
+func ExtremeSingularValues(op Operator, k int, tol float64) (top, bottom []float64, err error) {
+	rows, cols := op.Dims()
+	n := rows
+	if cols < n {
+		n = cols
+	}
+	if n == 0 || k <= 0 {
+		return nil, nil, nil
+	}
+	if k > n {
+		k = n
+	}
+	at, err := Transpose(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	var gram Operator
+	if rows >= cols {
+		gram, err = NewGramOperator(op, at) // AᵀA, cols×cols
+	} else {
+		gram, err = NewGramOperator(at, op) // AAᵀ, rows×rows
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	topEv, err := SymExtremeEigenvalues(gram, k, tol, linalg.Largest)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sparse: top singular values: %w", err)
+	}
+	botEv, err := SymExtremeEigenvalues(gram, k, tol, linalg.Smallest)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sparse: bottom singular values: %w", err)
+	}
+	return sqrtClamped(topEv), sqrtClamped(botEv), nil
+}
+
+func sqrtClamped(ev []float64) []float64 {
+	out := make([]float64, len(ev))
+	for i, v := range ev {
+		if v < 0 {
+			v = 0
+		}
+		out[i] = math.Sqrt(v)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/linalg"
+)
+
+// randomDense returns a rows×cols matrix with the given fill density.
+func randomDense(rng *rand.Rand, rows, cols int, density float64) *linalg.Matrix {
+	m := linalg.New(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// banded returns an n×n banded matrix with the given bandwidth.
+func banded(rng *rand.Rand, n, band int) *linalg.Matrix {
+	m := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i - band; j <= i+band; j++ {
+			if j >= 0 && j < n {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return m
+}
+
+// checkExtremes compares ExtremeSingularValues against the dense
+// SingularValues baseline at 1e-9 relative to the spectral radius, which
+// keeps near-zero singular values comparable.
+func checkExtremes(t *testing.T, name string, op Operator, dense *linalg.Matrix, k int) {
+	t.Helper()
+	sv, err := linalg.SingularValues(dense)
+	if err != nil {
+		t.Fatalf("%s: dense singular values: %v", name, err)
+	}
+	top, bottom, err := ExtremeSingularValues(op, k, 0)
+	if err != nil {
+		t.Fatalf("%s: ExtremeSingularValues: %v", name, err)
+	}
+	n := len(sv)
+	want := k
+	if want > n {
+		want = n
+	}
+	if len(top) != want || len(bottom) != want {
+		t.Fatalf("%s: got %d top / %d bottom values, want %d", name, len(top), len(bottom), want)
+	}
+	scale := sv[0] + 1
+	for i := 0; i < want; i++ {
+		if d := math.Abs(top[i] - sv[i]); d > 1e-9*scale {
+			t.Fatalf("%s: top[%d] = %.15g vs dense %.15g (|Δ| %g)", name, i, top[i], sv[i], d)
+		}
+		if d := math.Abs(bottom[i] - sv[n-1-i]); d > 1e-9*scale {
+			t.Fatalf("%s: bottom[%d] = %.15g vs dense %.15g (|Δ| %g)", name, i, bottom[i], sv[n-1-i], d)
+		}
+	}
+}
+
+func TestExtremeSingularValuesSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 6; trial++ {
+		rows, cols := 20+rng.Intn(60), 20+rng.Intn(60)
+		m := randomDense(rng, rows, cols, 0.1)
+		checkExtremes(t, "sparse", FromDense(m), m, 1+rng.Intn(5))
+	}
+}
+
+func TestExtremeSingularValuesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 4; trial++ {
+		rows, cols := 15+rng.Intn(40), 15+rng.Intn(40)
+		m := randomDense(rng, rows, cols, 1)
+		checkExtremes(t, "dense", Dense{M: m}, m, 3)
+	}
+}
+
+func TestExtremeSingularValuesBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, band := range []int{1, 3, 7} {
+		n := 60 + rng.Intn(40)
+		m := banded(rng, n, band)
+		checkExtremes(t, "banded", FromDense(m), m, 4)
+	}
+}
+
+func TestExtremeSingularValuesRepeated(t *testing.T) {
+	// A ⊗ I_3 repeats every singular value of A three times; the engine
+	// must report multiplicities, not skip to the next distinct value.
+	rng := rand.New(rand.NewSource(53))
+	a := randomDense(rng, 5, 5, 1)
+	const rep = 3
+	m := linalg.New(5*rep, 5*rep)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			for r := 0; r < rep; r++ {
+				m.Set(i*rep+r, j*rep+r, a.At(i, j))
+			}
+		}
+	}
+	checkExtremes(t, "repeated", FromDense(m), m, 6)
+}
+
+func TestExtremeSingularValuesNearZero(t *testing.T) {
+	// Rank-deficient with a cluster at ~1e-12: bottom values must come back
+	// as (near-)zeros, not as the smallest nonzero block.
+	n := 24
+	m := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i < 8:
+			m.Set(i, i, float64(10+i))
+		case i < 16:
+			m.Set(i, i, 1e-12*float64(i))
+		}
+	}
+	checkExtremes(t, "near-zero", FromDense(m), m, 5)
+}
+
+func TestExtremeSingularValuesWideAndTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	tall := randomDense(rng, 80, 25, 0.3)
+	checkExtremes(t, "tall", FromDense(tall), tall, 4)
+	wide := randomDense(rng, 25, 80, 0.3)
+	checkExtremes(t, "wide", FromDense(wide), wide, 4)
+}
+
+func TestExtremeSingularValuesConcurrent(t *testing.T) {
+	// One shared CSR operator, many concurrent solves over the shared pool:
+	// the race detector (CI runs -race) must stay quiet and every
+	// goroutine must see identical results.
+	rng := rand.New(rand.NewSource(61))
+	m := randomDense(rng, 150, 90, 0.05)
+	op := FromDense(m)
+	ref, _, err := ExtremeSingularValues(op, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			top, _, err := ExtremeSingularValues(op, 3, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range ref {
+				if top[i] != ref[i] {
+					t.Errorf("concurrent solve diverged: %v vs %v", top, ref)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSymExtremeEigenvaluesRejectsRectangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	if _, err := SymExtremeEigenvalues(FromDense(randomDense(rng, 4, 7, 1)), 2, 0, linalg.Largest); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestTransposeUnsupported(t *testing.T) {
+	if _, err := Transpose(opOnly{}); err == nil {
+		t.Fatal("expected transpose resolution error")
+	}
+}
+
+type opOnly struct{}
+
+func (opOnly) Dims() (int, int)          { return 1, 1 }
+func (opOnly) Apply(dst, x []float64)    { dst[0] = x[0] }
+func (opOnly) AddApply(dst, x []float64) { dst[0] += x[0] }
