@@ -20,6 +20,7 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 	$(GO) run ./cmd/blowfishbench -exp table1,fig3,fig10a,fig10b,fig10spectral,planreuse -json $(BENCH_JSON)
+	$(GO) run ./cmd/blowfishbench -exp serve -full -json BENCH_serve.json
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -16,6 +16,18 @@ type Budget struct {
 // unlimited reports whether the budget enforces nothing.
 func (b Budget) unlimited() bool { return b.Epsilon == 0 && b.Delta == 0 }
 
+// validate rejects budgets that would silently disable enforcement: negative
+// axes, NaN (which fails every comparison) and +Inf. The zero value — an
+// unlimited budget — is valid.
+func (b Budget) validate() error {
+	if !(b.Epsilon >= 0) || !(b.Delta >= 0) ||
+		math.IsInf(b.Epsilon, 1) || math.IsInf(b.Delta, 1) {
+		return fmt.Errorf("blowfish: non-finite or negative budget (ε=%g, δ=%g): %w",
+			b.Epsilon, b.Delta, ErrInvalidOptions)
+	}
+	return nil
+}
+
 // budgetSlack is the relative tolerance absorbing float accumulation error
 // when comparing spend against the cap, so e.g. ten ε=0.1 releases fit
 // exactly in a 1.0 budget. It scales with each axis's own budget — δ
@@ -23,10 +35,14 @@ func (b Budget) unlimited() bool { return b.Epsilon == 0 && b.Delta == 0 }
 // real overspend.
 const budgetSlack = 1e-12
 
-// Accountant tracks cumulative privacy spend across every release made
-// through an Engine, under basic sequential composition: epsilons and deltas
-// add. It is safe for concurrent use; all Plans of an Engine share one
-// Accountant, so concurrent releases serialize their budget checks.
+// Accountant tracks cumulative privacy spend under basic sequential
+// composition: epsilons and deltas add. It is safe for concurrent use.
+//
+// Every Engine owns a default Accountant shared by its Plans, but
+// accountants are not tied to engines: NewAccountant creates independent
+// ledgers, and Plan.AnswerWith charges the accountant the caller passes, so
+// one compiled Plan can serve many tenants with isolated budgets (the
+// cmd/blowfishd serving daemon keeps one Accountant per tenant).
 type Accountant struct {
 	mu       sync.Mutex
 	budget   Budget
@@ -34,7 +50,16 @@ type Accountant struct {
 	releases int64
 }
 
-// newAccountant returns an accountant enforcing the given budget.
+// NewAccountant returns an accountant enforcing the given cumulative (ε, δ)
+// budget. The zero Budget means unlimited: spend is tracked, never enforced.
+func NewAccountant(b Budget) (*Accountant, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	return &Accountant{budget: b}, nil
+}
+
+// newAccountant is NewAccountant for budgets already validated.
 func newAccountant(b Budget) *Accountant { return &Accountant{budget: b} }
 
 // Budget returns the configured allowance (zero value = unlimited).
@@ -70,6 +95,21 @@ func (a *Accountant) Releases() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.releases
+}
+
+// Charge atomically reserves `releases` releases of `per` each
+// (all-or-nothing), returning ErrBudgetExhausted — without recording any
+// spend — if the reservation would exceed the budget. It is the admission
+// hook for serving layers that account before computing: charge the tenant's
+// accountant first, then run the release uncharged via Plan.AnswerWith with
+// a nil accountant (Plan.Cost reports what one release of a plan costs).
+// A release of per.Epsilon <= 0 produces no noise, so a finite-budget
+// accountant rejects it outright rather than pricing it at zero.
+func (a *Accountant) Charge(per Budget, releases int) error {
+	if releases < 0 {
+		return fmt.Errorf("blowfish: negative release count %d: %w", releases, ErrInvalidOptions)
+	}
+	return a.charge(per.Epsilon, per.Delta, releases)
 }
 
 // charge atomically reserves (eps, delta) for one release, or n releases at

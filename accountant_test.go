@@ -1,0 +1,246 @@
+package blowfish
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewAccountantValidation(t *testing.T) {
+	for _, b := range []Budget{
+		{Epsilon: -1},
+		{Delta: -0.5},
+		{Epsilon: math.NaN()},
+		{Delta: math.NaN()},
+		{Epsilon: math.Inf(1)},
+		{Delta: math.Inf(1)},
+	} {
+		if _, err := NewAccountant(b); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("NewAccountant(%+v): got %v, want ErrInvalidOptions", b, err)
+		}
+	}
+	acct, err := NewAccountant(Budget{Epsilon: 1.5, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem, ok := acct.Remaining(); !ok || rem.Epsilon != 1.5 || rem.Delta != 1e-6 {
+		t.Fatalf("fresh accountant remaining %+v, %v", rem, ok)
+	}
+	unlimited, err := NewAccountant(Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := unlimited.Remaining(); ok {
+		t.Fatal("zero budget must mean unlimited, not exhausted")
+	}
+}
+
+// TestAnswerWithPerTenantAccounting is the decoupling contract: one compiled
+// Plan serves several tenants, each accountant tracks only its own releases,
+// and the engine's built-in accountant is not charged for any of them.
+func TestAnswerWithPerTenantAccounting(t *testing.T) {
+	p := LinePolicy(16)
+	w := Histogram(16)
+	x := make([]float64, 16)
+	eng, err := Open(p, EngineOptions{Budget: Budget{Epsilon: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := NewAccountant(Budget{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewAccountant(Budget{Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := plan.AnswerWith(ctx, bob, x, 0.4, NewSource(int64(i))); err != nil {
+			t.Fatalf("bob release %d: %v", i, err)
+		}
+	}
+	if _, err := plan.AnswerWith(ctx, alice, x, 0.4, NewSource(9)); err != nil {
+		t.Fatalf("alice release: %v", err)
+	}
+	// Alice's second 0.4 overruns her ε=0.5; bob's budget is already gone too,
+	// but each rejection must come from that tenant's own ledger.
+	if _, err := plan.AnswerWith(ctx, alice, x, 0.4, NewSource(10)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("alice over budget: %v", err)
+	}
+	if _, err := plan.AnswerWith(ctx, bob, x, 0.4, NewSource(11)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("bob over budget: %v", err)
+	}
+	if s := alice.Spent(); math.Abs(s.Epsilon-0.4) > 1e-12 || alice.Releases() != 1 {
+		t.Fatalf("alice ledger %+v / %d releases", s, alice.Releases())
+	}
+	if s := bob.Spent(); math.Abs(s.Epsilon-0.8) > 1e-12 || bob.Releases() != 2 {
+		t.Fatalf("bob ledger %+v / %d releases", s, bob.Releases())
+	}
+	if s := eng.Accountant().Spent(); s.Epsilon != 0 || eng.Accountant().Releases() != 0 {
+		t.Fatalf("engine accountant charged %+v for tenant releases", s)
+	}
+	// nil accountant means the caller already accounted for the release.
+	if _, err := plan.AnswerWith(ctx, nil, x, 0.4, NewSource(12)); err != nil {
+		t.Fatalf("uncharged release: %v", err)
+	}
+	// The default entry point still charges the engine's accountant.
+	if _, err := plan.Answer(x, 0.4, NewSource(13)); err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.Accountant().Releases(); n != 1 {
+		t.Fatalf("engine releases %d, want 1", n)
+	}
+}
+
+// TestConcurrentChargeBoundary races 32 goroutines against one accountant at
+// the budget edge: exactly 10 ε=0.1 charges fit in ε=1.0, every loser gets
+// ErrBudgetExhausted, and the ledger lands exactly on the budget — no
+// double-admission and no lost spend under -race.
+func TestConcurrentChargeBoundary(t *testing.T) {
+	acct, err := NewAccountant(Budget{Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 32
+	results := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = acct.Charge(Budget{Epsilon: 0.1}, 1)
+		}(i)
+	}
+	wg.Wait()
+	admitted := 0
+	for i, err := range results {
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrBudgetExhausted):
+		default:
+			t.Fatalf("worker %d: unexpected error %v", i, err)
+		}
+	}
+	if admitted != 10 {
+		t.Fatalf("%d charges admitted, want exactly 10", admitted)
+	}
+	if s := acct.Spent(); math.Abs(s.Epsilon-1.0) > 1e-9 {
+		t.Fatalf("spent ε=%g, want 1.0", s.Epsilon)
+	}
+	if acct.Releases() != 10 {
+		t.Fatalf("releases %d, want 10", acct.Releases())
+	}
+	// Multi-release charges are atomic: 3 releases at ε=0.1 on a spent
+	// ledger reject as one unit.
+	if err := acct.Charge(Budget{Epsilon: 0.1}, 3); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("post-exhaustion charge: %v", err)
+	}
+	if err := acct.Charge(Budget{Epsilon: 0.1}, -1); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("negative release count: %v", err)
+	}
+}
+
+// TestAnswerContextCancellation: a canceled context rejects the release
+// before any budget is charged or noise drawn, for both the single and batch
+// entry points.
+func TestAnswerContextCancellation(t *testing.T) {
+	p := LinePolicy(16)
+	w := Histogram(16)
+	x := make([]float64, 16)
+	eng, err := Open(p, EngineOptions{Budget: Budget{Epsilon: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := plan.AnswerContext(ctx, x, 0.5, NewSource(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled answer: %v", err)
+	}
+	if _, err := plan.AnswerBatchContext(ctx, [][]float64{x, x}, 0.4, NewSource(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled batch: %v", err)
+	}
+	if s := eng.Accountant().Spent(); s.Epsilon != 0 {
+		t.Fatalf("canceled releases spent ε=%g", s.Epsilon)
+	}
+	// A live context answers normally through the same entry points.
+	if _, err := plan.AnswerContext(context.Background(), x, 0.5, NewSource(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := plan.AnswerBatchContext(context.Background(), [][]float64{x}, 0.5, NewSource(4)); err != nil || len(got) != 1 {
+		t.Fatalf("live batch: %v (%d results)", err, len(got))
+	}
+}
+
+// TestPlanDomainAndCost covers the serving-facing plan metadata.
+func TestPlanDomainAndCost(t *testing.T) {
+	eng, err := Open(LinePolicy(24), EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := eng.Prepare(Histogram(24), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Domain() != 24 {
+		t.Fatalf("domain %d", plan.Domain())
+	}
+	if c := plan.Cost(0.3); c.Epsilon != 0.3 || c.Delta != 0 {
+		t.Fatalf("laplace cost %+v", c)
+	}
+	gp, err := eng.Prepare(Histogram(24), Options{Estimator: EstimatorGaussian, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := gp.Cost(0.3); c.Delta != 1e-6 {
+		t.Fatalf("gaussian cost %+v, want δ=1e-6", c)
+	}
+}
+
+// TestEngineParallelismOption: any pool width (<= 0 means the shared pool)
+// must leave answers bitwise unchanged — pre-split noise makes the fan-out
+// order invisible.
+func TestEngineParallelismOption(t *testing.T) {
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	xs := [][]float64{x, x, x, x, x}
+	var ref [][]float64
+	for _, par := range []int{-1, 0, 1, 4} {
+		eng, err := Open(LinePolicy(32), EngineOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		plan, err := eng.Prepare(AllRanges1D(32), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan.AnswerBatch(xs, 0.5, NewSource(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			for j := range got[i] {
+				if math.Float64bits(got[i][j]) != math.Float64bits(ref[i][j]) {
+					t.Fatalf("parallelism %d: release %d query %d differs", par, i, j)
+				}
+			}
+		}
+	}
+}

@@ -15,7 +15,9 @@
 // Experiment ids: table1, fig3, fig10a, fig10b, planreuse, sparse (the
 // dense-vs-sparse answer-path timing sweep), fig10spectral (the dense-vs-
 // Lanczos lower-bound engine comparison, with equivalence asserted wherever
-// the dense reference is feasible), and figNx where N∈{8,9} and x∈{a..h}
+// the dense reference is feasible), serve (sustained throughput of the
+// blowfishd serving stack with and without cross-request batching, one row
+// per GOMAXPROCS setting), and figNx where N∈{8,9} and x∈{a..h}
 // (fig8 and fig9 alone run all four workloads at both of that figure's ε
 // values). Results are deterministic for a fixed -seed at every -parallel
 // setting: experiment noise streams are pre-split in a fixed serial order
@@ -34,6 +36,7 @@ import (
 
 	"github.com/privacylab/blowfish/internal/eval"
 	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/servebench"
 	"github.com/privacylab/blowfish/internal/strategy"
 )
 
@@ -63,7 +66,7 @@ func main() {
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "fig10spectral", "planreuse", "sparse"}
+		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "fig10spectral", "planreuse", "sparse", "serve"}
 	}
 	report := benchReport{
 		Schema:      "blowfishbench/v1",
@@ -187,6 +190,15 @@ func run(id string, opts eval.Options, full bool, out io.Writer) ([]*eval.Table,
 		}
 	case id == "sparse":
 		if err := emit(eval.SparseAnswerExperiment(opts)); err != nil {
+			return nil, err
+		}
+	case id == "serve":
+		o := servebench.QuickServe()
+		if full {
+			o = servebench.DefaultServe()
+		}
+		o.Seed = opts.Seed
+		if err := emit(servebench.ServeExperiment(o)); err != nil {
 			return nil, err
 		}
 	case id == "fig8" || id == "fig9":

@@ -1,0 +1,100 @@
+// Command blowfishd is a multi-tenant answer service over the blowfish
+// Engine/Plan API. Each tenant gets an independent (ε, δ) budget ledger;
+// requests that would overdraw it are rejected with HTTP 429 before any
+// noise is drawn. Plans are compiled once per distinct (policy, workload,
+// options) triple and cached, and concurrent same-plan requests within the
+// batch window are coalesced into one AnswerBatch over the shared worker
+// pool.
+//
+// Usage:
+//
+//	blowfishd -addr :8080 -tenant-eps 2.0
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/answer -d '{
+//	    "tenant": "alice",
+//	    "policy": {"kind": "line", "k": 8},
+//	    "workload": {"kind": "histogram"},
+//	    "epsilon": 0.5,
+//	    "x": [3, 1, 4, 1, 5, 9, 2, 6]}'
+//	curl -s 'localhost:8080/v1/budget?tenant=alice'
+//	curl -s localhost:8080/v1/stats
+//
+// Endpoints: GET /healthz, POST /v1/answer, GET /v1/budget?tenant=NAME,
+// GET /v1/stats. See internal/serve for the wire formats and the typed
+// error → status mapping.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	blowfish "github.com/privacylab/blowfish"
+	"github.com/privacylab/blowfish/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		tenantEps   = flag.Float64("tenant-eps", 0, "per-tenant ε budget (0 = unlimited)")
+		tenantDelta = flag.Float64("tenant-delta", 0, "per-tenant δ budget")
+		planCache   = flag.Int("plan-cache", 64, "compiled plans kept per LRU")
+		engineCache = flag.Int("engine-cache", 16, "opened engines kept per LRU")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for same-plan requests (0 disables batching)")
+		batchMax    = flag.Int("batch-max", 64, "max releases per coalesced batch")
+		seed        = flag.Int64("seed", 0, "noise seed (0 = from the clock; set only for reproducible tests)")
+		parallel    = flag.Int("parallel", 0, "worker pool width for batched releases (0 = one per CPU)")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		TenantBudget:    blowfish.Budget{Epsilon: *tenantEps, Delta: *tenantDelta},
+		PlanCacheSize:   *planCache,
+		EngineCacheSize: *engineCache,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *batchMax,
+		Seed:            *seed,
+		Parallelism:     *parallel,
+		Logf:            log.Printf,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	if *tenantEps > 0 || *tenantDelta > 0 {
+		log.Printf("blowfishd: listening on %s (per-tenant budget ε=%g δ=%g)", *addr, *tenantEps, *tenantDelta)
+	} else {
+		log.Printf("blowfishd: listening on %s (unlimited tenant budgets)", *addr)
+	}
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "blowfishd: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("blowfishd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "blowfishd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package blowfish
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -15,22 +16,26 @@ import (
 // EngineOptions configures a long-lived Engine.
 type EngineOptions struct {
 	// Budget caps the cumulative (ε, δ) spend across every release made
-	// through the Engine (basic sequential composition). The zero value
-	// means unlimited: spend is tracked but never enforced.
+	// through the Engine's default Accountant (basic sequential
+	// composition). The zero value means unlimited: spend is tracked but
+	// never enforced. Per-tenant budgets are independent of this knob:
+	// create accountants with NewAccountant and pass them to
+	// Plan.AnswerWith.
 	Budget Budget
+
+	// Parallelism caps the worker fan-out of AnswerBatch calls on this
+	// Engine's plans: <= 0 (the default) draws from the process-wide
+	// shared pool (one worker per CPU, shared with the kernels so nested
+	// fan-outs cannot multiply goroutines); n >= 1 gives the Engine a
+	// dedicated pool of n workers.
+	Parallelism int
 }
 
 func (o EngineOptions) validate() error {
-	b := o.Budget
-	if !(b.Epsilon >= 0) || !(b.Delta >= 0) ||
-		math.IsInf(b.Epsilon, 1) || math.IsInf(b.Delta, 1) {
-		// Negative, NaN and infinite budgets are all rejected (NaN fails
-		// every comparison, which would silently disable enforcement); use
-		// the zero value for an unlimited budget.
-		return fmt.Errorf("blowfish: non-finite or negative budget (ε=%g, δ=%g): %w",
-			b.Epsilon, b.Delta, ErrInvalidOptions)
-	}
-	return nil
+	// Negative, NaN and infinite budgets are all rejected (NaN fails every
+	// comparison, which would silently disable enforcement); use the zero
+	// value for an unlimited budget.
+	return o.Budget.validate()
 }
 
 // validate is the single validation point for per-plan Options, shared by
@@ -56,6 +61,7 @@ func (o Options) validate() error {
 type Engine struct {
 	p    *policy.Policy
 	acct *Accountant
+	pool *par.Pool
 
 	// mu guards trees, the per-(branch, theta) transform artifact cache.
 	// Artifacts are immutable once stored, so Plans use them lock-free.
@@ -89,11 +95,19 @@ func Open(p *Policy, opts EngineOptions) (*Engine, error) {
 		return nil, err
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		// An inconsistent policy is an invalid input like any other: callers
+		// branch on ErrInvalidOptions, with the policy's own diagnosis kept
+		// in the chain.
+		return nil, fmt.Errorf("blowfish: %w (%w)", err, ErrInvalidOptions)
+	}
+	pool := par.Shared()
+	if opts.Parallelism >= 1 {
+		pool = par.NewPool(opts.Parallelism)
 	}
 	e := &Engine{
 		p:     p,
 		acct:  newAccountant(opts.Budget),
+		pool:  pool,
 		trees: map[treeKey]*treeArtifact{},
 	}
 	// Eagerly compile the default-branch artifact so the first Prepare (and
@@ -250,29 +264,85 @@ func (pl *Plan) Algorithm() string { return pl.prep.Name }
 // Queries returns the number of workload queries the Plan answers.
 func (pl *Plan) Queries() int { return pl.queries }
 
+// Domain returns the policy/database domain size the Plan answers over.
+func (pl *Plan) Domain() int { return pl.k }
+
+// Cost returns the (ε, δ) one release of this plan at budget eps charges an
+// accountant: eps itself, plus the plan's per-release δ when it was prepared
+// with the Gaussian estimator. Serving layers that admit requests before
+// coalescing them into batches charge Cost against the tenant's accountant
+// up front and then release through AnswerWith with a nil accountant.
+func (pl *Plan) Cost(eps float64) Budget { return Budget{Epsilon: eps, Delta: pl.delta} }
+
 // Answer releases the plan's workload over histogram x under
-// (eps, p)-Blowfish privacy, charging the Engine's Accountant first. The
-// convention eps <= 0 disables noise (and is rejected under a finite
-// budget). The output is bitwise identical to what the legacy Answer
-// entry point produces for the same inputs and Source state.
+// (eps, p)-Blowfish privacy, charging the Engine's default Accountant
+// first. The convention eps <= 0 disables noise (and is rejected under a
+// finite budget). The output is bitwise identical to what the legacy Answer
+// entry point produces for the same inputs and Source state. Answer is
+// AnswerWith(context.Background(), engine accountant, …).
 func (pl *Plan) Answer(x []float64, eps float64, src *Source) ([]float64, error) {
+	return pl.AnswerWith(context.Background(), pl.eng.acct, x, eps, src)
+}
+
+// AnswerContext is Answer honoring ctx: a canceled or expired context is
+// reported (with ctx.Err in the chain) before any budget is charged.
+func (pl *Plan) AnswerContext(ctx context.Context, x []float64, eps float64, src *Source) ([]float64, error) {
+	return pl.AnswerWith(ctx, pl.eng.acct, x, eps, src)
+}
+
+// AnswerWith is the fully general release entry point: it validates inputs,
+// charges one release of Cost(eps) against acct, and runs the compiled
+// noise-and-reconstruct hot path. The accountant is decoupled from the
+// Engine so one compiled plan can serve many tenants: pass a per-tenant
+// accountant from NewAccountant, the Engine's own via Engine.Accountant, or
+// nil when the caller has already accounted for the release (for example
+// through Accountant.Charge at admission time).
+func (pl *Plan) AnswerWith(ctx context.Context, acct *Accountant, x []float64, eps float64, src *Source) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("blowfish: nil noise source: %w", ErrInvalidOptions)
+	}
 	if len(x) != pl.k {
 		return nil, fmt.Errorf("blowfish: database size %d != policy domain %d: %w", len(x), pl.k, ErrDomainMismatch)
 	}
-	if err := pl.eng.acct.charge(eps, pl.delta, 1); err != nil {
-		return nil, err
+	if acct != nil {
+		if err := acct.charge(eps, pl.delta, 1); err != nil {
+			return nil, err
+		}
 	}
 	return pl.prep.Answer(x, eps, src)
 }
 
 // AnswerBatch releases the plan's workload over every database in xs at
 // budget eps each, charging the Accountant for all of them atomically
-// (all or nothing) and fanning the releases out over the shared worker pool
-// (so batch fan-out and the kernels inside each release draw from one
+// (all or nothing) and fanning the releases out over the Engine's worker
+// pool (so batch fan-out and the kernels inside each release draw from one
 // goroutine budget). Noise streams are pre-split from src in serial order,
 // so the results are identical to len(xs) sequential Answer calls each
 // given src.Split().
 func (pl *Plan) AnswerBatch(xs [][]float64, eps float64, src *Source) ([][]float64, error) {
+	return pl.AnswerBatchWith(context.Background(), pl.eng.acct, xs, eps, src)
+}
+
+// AnswerBatchContext is AnswerBatch honoring ctx. Cancellation is checked
+// before the budget charge and again between the releases of the batch, so
+// a deadline cuts a long batch short; releases already computed when the
+// context fires are discarded, and the batch's charge — made atomically up
+// front — stays spent (noise for them may already have been drawn, so
+// refunding would overspend the budget).
+func (pl *Plan) AnswerBatchContext(ctx context.Context, xs [][]float64, eps float64, src *Source) ([][]float64, error) {
+	return pl.AnswerBatchWith(ctx, pl.eng.acct, xs, eps, src)
+}
+
+// AnswerBatchWith is AnswerBatchContext charging an arbitrary accountant:
+// per-tenant ones from NewAccountant, the Engine's own, or nil when the
+// caller has already accounted for the whole batch.
+func (pl *Plan) AnswerBatchWith(ctx context.Context, acct *Accountant, xs [][]float64, eps float64, src *Source) ([][]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, x := range xs {
 		if len(x) != pl.k {
 			return nil, fmt.Errorf("blowfish: database %d size %d != policy domain %d: %w", i, len(x), pl.k, ErrDomainMismatch)
@@ -281,21 +351,14 @@ func (pl *Plan) AnswerBatch(xs [][]float64, eps float64, src *Source) ([][]float
 	if len(xs) == 0 {
 		return nil, nil
 	}
-	if err := pl.eng.acct.charge(eps, pl.delta, len(xs)); err != nil {
-		return nil, err
+	if src == nil {
+		return nil, fmt.Errorf("blowfish: nil noise source: %w", ErrInvalidOptions)
+	}
+	if acct != nil {
+		if err := acct.charge(eps, pl.delta, len(xs)); err != nil {
+			return nil, err
+		}
 	}
 	srcs := src.SplitN(len(xs))
-	out := make([][]float64, len(xs))
-	err := par.Shared().DoErr(0, len(xs), func(i int) error {
-		got, err := pl.prep.Answer(xs[i], eps, srcs[i])
-		if err != nil {
-			return err
-		}
-		out[i] = got
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return pl.prep.AnswerBatch(xs, eps, srcs, pl.eng.pool, ctx.Err)
 }

@@ -1,6 +1,7 @@
 package blowfish_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -109,4 +110,39 @@ func ExampleAccountant() {
 	// release 1: spent eps=0.4, exhausted=false
 	// release 2: spent eps=0.8, exhausted=false
 	// release 3: spent eps=0.8, exhausted=true
+}
+
+// Example_serving is the multi-tenant pattern behind cmd/blowfishd: one
+// compiled Plan serves many tenants, each with its own Accountant, so budget
+// exhaustion for one tenant never blocks another.
+func Example_serving() {
+	engine, err := blowfish.Open(blowfish.LinePolicy(8), blowfish.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	plan, err := engine.Prepare(blowfish.Histogram(8), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	alice, err := blowfish.NewAccountant(blowfish.Budget{Epsilon: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	bob, err := blowfish.NewAccountant(blowfish.Budget{Epsilon: 1.0})
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float64, 8)
+	src := blowfish.NewSource(7)
+	ctx := context.Background()
+	for round := 1; round <= 2; round++ {
+		_, aerr := plan.AnswerWith(ctx, alice, x, 0.4, src.Split())
+		_, berr := plan.AnswerWith(ctx, bob, x, 0.4, src.Split())
+		fmt.Printf("round %d: alice exhausted=%v, bob exhausted=%v\n", round,
+			errors.Is(aerr, blowfish.ErrBudgetExhausted),
+			errors.Is(berr, blowfish.ErrBudgetExhausted))
+	}
+	// Output:
+	// round 1: alice exhausted=false, bob exhausted=false
+	// round 2: alice exhausted=true, bob exhausted=false
 }

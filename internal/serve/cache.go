@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lru is a small LRU cache with single-flight builds: concurrent requests
+// for the same missing key run one build and share its result. It backs the
+// daemon's plan and engine caches, where a build is an expensive strategy
+// compile that must not run once per concurrent request.
+type lru[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *lruEntry[V]
+	items map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// lruEntry is one cached build. ready is closed when val/err are final;
+// lookups that find an entry mid-build wait on it instead of rebuilding.
+type lruEntry[V any] struct {
+	key   string
+	val   V
+	err   error
+	ready chan struct{}
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[V]{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// getOrCreate returns the value cached under key, building it with build on
+// a miss. The second result reports whether the call was served from cache
+// (false both for the builder itself and for waiters that piggybacked on an
+// in-flight build). Failed builds are not cached: their error is shared with
+// concurrent waiters, then the entry is dropped so later calls retry.
+func (c *lru[V]) getOrCreate(key string, build func() (V, error)) (V, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*lruEntry[V])
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return e.val, false, e.err
+		}
+		c.hits.Add(1)
+		return e.val, true, nil
+	}
+	e := &lruEntry[V]{key: key, ready: make(chan struct{})}
+	el := c.ll.PushFront(e)
+	c.items[key] = el
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry[V]).key)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.val, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		// Drop the failed entry unless it was already evicted (or replaced).
+		if cur, ok := c.items[key]; ok && cur == el {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.val, false, e.err
+}
+
+// len returns the number of cached entries (including in-flight builds).
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,636 @@
+// Package serve is the multi-tenant serving core behind cmd/blowfishd: a
+// long-lived HTTP answer service on top of the compile-once Engine/Plan API.
+//
+// The daemon keeps an LRU plan cache keyed by (policy, workload, options) —
+// compiling a strategy once and serving it to every tenant — and one budget
+// Accountant per tenant. Admission control runs before any computation: a
+// release is charged against the tenant's (ε, δ) budget up front and
+// rejected with HTTP 429 (and the remaining budget in the response body)
+// when it would overspend. Admitted requests for the same plan are coalesced
+// across tenants into single Plan.AnswerBatch calls over the shared worker
+// pool. Typed library errors map to HTTP statuses consistently (see
+// statusFor), and every handler runs behind a recover barrier so a panicking
+// request degrades to a 500 response instead of killing the process.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	blowfish "github.com/privacylab/blowfish"
+)
+
+// Config sizes a Server. The zero value serves with the defaults below.
+type Config struct {
+	// TenantBudget is the cumulative (ε, δ) allowance each tenant gets on
+	// first use. The zero value means unlimited (spend tracked, never
+	// enforced).
+	TenantBudget blowfish.Budget
+	// PlanCacheSize caps the compiled-plan LRU (default 64 entries).
+	PlanCacheSize int
+	// EngineCacheSize caps the per-policy engine LRU (default 16 entries).
+	EngineCacheSize int
+	// BatchWindow is how long the first pending request for a plan waits
+	// for others to coalesce with before its batch is released; 0 disables
+	// coalescing and answers every request individually (default 0).
+	BatchWindow time.Duration
+	// MaxBatch releases a batch early once this many requests are pending
+	// (default 64).
+	MaxBatch int
+	// Seed seeds the daemon's root noise source; 0 derives a seed from the
+	// wall clock. Fixed seeds make serving deterministic for tests.
+	Seed int64
+	// Parallelism is passed through to every Engine the daemon opens (the
+	// AnswerBatch fan-out width); <= 0 uses the process-wide shared pool.
+	Parallelism int
+	// Logf, when non-nil, receives serving diagnostics (recovered panics
+	// with their stacks). cmd/blowfishd passes log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PlanCacheSize < 1 {
+		c.PlanCacheSize = 64
+	}
+	if c.EngineCacheSize < 1 {
+		c.EngineCacheSize = 16
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the daemon's serving counters,
+// exposed at GET /v1/stats.
+type Stats struct {
+	Requests        int64 `json:"requests"`
+	Answered        int64 `json:"answered"`
+	RejectedBudget  int64 `json:"rejected_budget"`
+	Errors          int64 `json:"errors"`
+	Panics          int64 `json:"panics"`
+	Batches         int64 `json:"batches"`
+	BatchedReleases int64 `json:"batched_releases"`
+	MaxBatch        int64 `json:"max_batch"`
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	PlanCacheSize   int64 `json:"plan_cache_size"`
+	PlanEvictions   int64 `json:"plan_cache_evictions"`
+	Tenants         int64 `json:"tenants"`
+}
+
+// Server is the http.Handler implementing the blowfishd API:
+//
+//	GET  /healthz     liveness probe
+//	POST /v1/answer   release a workload over a database for one tenant
+//	GET  /v1/budget   a tenant's budget ledger (?tenant=name)
+//	GET  /v1/stats    serving counters
+//
+// It is safe for concurrent use by any number of requests.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	plans   *lru[*planEntry]
+	engines *lru[*blowfish.Engine]
+
+	tenantMu sync.Mutex
+	tenants  map[string]*blowfish.Accountant
+
+	srcMu sync.Mutex
+	src   *blowfish.Source
+
+	answered        atomic.Int64
+	requests        atomic.Int64
+	rejectedBudget  atomic.Int64
+	errorCount      atomic.Int64
+	panics          atomic.Int64
+	batches         atomic.Int64
+	batchedReleases atomic.Int64
+	maxBatch        atomic.Int64
+}
+
+// planEntry is one cached compiled plan plus its coalescing batcher (nil
+// when batching is disabled).
+type planEntry struct {
+	plan    *blowfish.Plan
+	batcher *batcher
+}
+
+// New returns a Server for cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		plans:   newLRU[*planEntry](cfg.PlanCacheSize),
+		engines: newLRU[*blowfish.Engine](cfg.EngineCacheSize),
+		tenants: map[string]*blowfish.Accountant{},
+		src:     blowfish.NewSource(cfg.Seed),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/answer", s.handleAnswer)
+	s.mux.HandleFunc("GET /v1/budget", s.handleBudget)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the API handlers behind the recover barrier.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			// Graceful degradation: one bad request must not take the daemon
+			// down. The panic is reported as a 500 and the worker keeps
+			// serving.
+			s.panics.Add(1)
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("serve: recovered panic: %v\n%s", rec, debug.Stack())
+			}
+			writeError(w, http.StatusInternalServerError, "panic",
+				fmt.Sprintf("internal panic: %v", rec), nil)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	s.tenantMu.Lock()
+	tenants := int64(len(s.tenants))
+	s.tenantMu.Unlock()
+	return Stats{
+		Requests:        s.requests.Load(),
+		Answered:        s.answered.Load(),
+		RejectedBudget:  s.rejectedBudget.Load(),
+		Errors:          s.errorCount.Load(),
+		Panics:          s.panics.Load(),
+		Batches:         s.batches.Load(),
+		BatchedReleases: s.batchedReleases.Load(),
+		MaxBatch:        s.maxBatch.Load(),
+		PlanCacheHits:   s.plans.hits.Load(),
+		PlanCacheMisses: s.plans.misses.Load(),
+		PlanCacheSize:   int64(s.plans.len()),
+		PlanEvictions:   s.plans.evictions.Load(),
+		Tenants:         tenants,
+	}
+}
+
+// Accountant returns (creating on first use) the named tenant's accountant.
+func (s *Server) Accountant(tenant string) *blowfish.Accountant {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if a, ok := s.tenants[tenant]; ok {
+		return a
+	}
+	a, err := blowfish.NewAccountant(s.cfg.TenantBudget)
+	if err != nil {
+		// The config budget is validated once at daemon startup via New's
+		// first tenant; an invalid one falls back to tracking-only so the
+		// daemon degrades rather than panics.
+		a, _ = blowfish.NewAccountant(blowfish.Budget{})
+	}
+	s.tenants[tenant] = a
+	return a
+}
+
+// split derives one independent noise stream from the daemon's root source.
+func (s *Server) split() *blowfish.Source {
+	s.srcMu.Lock()
+	defer s.srcMu.Unlock()
+	return s.src.Split()
+}
+
+// --- request/response schema ---
+
+// PolicySpec names a policy graph in an answer request.
+type PolicySpec struct {
+	// Kind is one of "unbounded", "bounded", "line", "grid", "distance".
+	Kind string `json:"kind"`
+	// K is the domain size ("grid" reads it as the side of a k×k map).
+	K int `json:"k,omitempty"`
+	// Dims are the per-attribute domain sizes for "distance" policies.
+	Dims []int `json:"dims,omitempty"`
+	// Theta is the distance threshold for "distance" policies.
+	Theta int `json:"theta,omitempty"`
+}
+
+// RectSpec is one inclusive hyper-rectangle query.
+type RectSpec struct {
+	Lo []int `json:"lo"`
+	Hi []int `json:"hi"`
+}
+
+// WorkloadSpec names the linear-query workload of an answer request.
+type WorkloadSpec struct {
+	// Kind is one of "histogram", "cumulative", "allranges", "ranges"
+	// (1-D, via Ranges) or "rects" (k-d, via Rects).
+	Kind string `json:"kind"`
+	// Ranges lists inclusive [lo, hi] pairs for Kind "ranges".
+	Ranges [][2]int `json:"ranges,omitempty"`
+	// Rects lists hyper-rectangles for Kind "rects".
+	Rects []RectSpec `json:"rects,omitempty"`
+}
+
+// OptionsSpec mirrors blowfish.Options over the wire.
+type OptionsSpec struct {
+	// Estimator is "", "laplace", "consistent", "dawa", "dawa-consistent",
+	// "gaussian" or "geometric".
+	Estimator string  `json:"estimator,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	Theta     int     `json:"theta,omitempty"`
+}
+
+// AnswerRequest is the body of POST /v1/answer.
+type AnswerRequest struct {
+	Tenant   string       `json:"tenant"`
+	Policy   PolicySpec   `json:"policy"`
+	Workload WorkloadSpec `json:"workload"`
+	Options  OptionsSpec  `json:"options"`
+	Epsilon  float64      `json:"epsilon"`
+	X        []float64    `json:"x"`
+}
+
+// BudgetInfo reports a tenant's ledger; the Remaining fields are omitted for
+// unlimited budgets.
+type BudgetInfo struct {
+	Limited          bool     `json:"limited"`
+	SpentEpsilon     float64  `json:"spent_epsilon"`
+	SpentDelta       float64  `json:"spent_delta"`
+	RemainingEpsilon *float64 `json:"remaining_epsilon,omitempty"`
+	RemainingDelta   *float64 `json:"remaining_delta,omitempty"`
+	Releases         int64    `json:"releases"`
+}
+
+// AnswerResponse is the body of a successful POST /v1/answer.
+type AnswerResponse struct {
+	Algorithm string     `json:"algorithm"`
+	Answers   []float64  `json:"answers"`
+	Batched   int        `json:"batched"` // releases coalesced into the same AnswerBatch call
+	PlanKey   string     `json:"plan_key"`
+	Budget    BudgetInfo `json:"budget"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error  string      `json:"error"`
+	Code   string      `json:"code"`
+	Budget *BudgetInfo `json:"budget,omitempty"`
+}
+
+func budgetInfo(a *blowfish.Accountant) BudgetInfo {
+	spent := a.Spent()
+	info := BudgetInfo{
+		SpentEpsilon: spent.Epsilon,
+		SpentDelta:   spent.Delta,
+		Releases:     a.Releases(),
+	}
+	if rem, ok := a.Remaining(); ok {
+		info.Limited = true
+		info.RemainingEpsilon = &rem.Epsilon
+		info.RemainingDelta = &rem.Delta
+	}
+	return info
+}
+
+// statusFor maps the library's typed errors to HTTP statuses, one place so
+// every handler reports them identically.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, blowfish.ErrBudgetExhausted):
+		return http.StatusTooManyRequests, "budget_exhausted"
+	case errors.Is(err, blowfish.ErrDomainMismatch):
+		return http.StatusBadRequest, "domain_mismatch"
+	case errors.Is(err, blowfish.ErrInvalidOptions):
+		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, blowfish.ErrDisconnectedPolicy):
+		return http.StatusUnprocessableEntity, "disconnected_policy"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string, budget *BudgetInfo) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code, Budget: budget})
+}
+
+// invalid wraps a serve-level validation failure so it maps to HTTP 400 via
+// the same typed-error path as the library's own rejections.
+func invalid(format string, args ...any) error {
+	args = append(args, blowfish.ErrInvalidOptions)
+	return fmt.Errorf("serve: "+format+": %w", args...)
+}
+
+// --- spec construction ---
+
+func (ps PolicySpec) build() (*blowfish.Policy, error) {
+	switch ps.Kind {
+	case "unbounded", "bounded", "line", "grid":
+		if ps.K < 1 {
+			return nil, invalid("policy %q needs k >= 1, got %d", ps.Kind, ps.K)
+		}
+	}
+	switch ps.Kind {
+	case "unbounded":
+		return blowfish.UnboundedPolicy(ps.K), nil
+	case "bounded":
+		return blowfish.BoundedPolicy(ps.K), nil
+	case "line":
+		return blowfish.LinePolicy(ps.K), nil
+	case "grid":
+		return blowfish.GridPolicy(ps.K), nil
+	case "distance":
+		if len(ps.Dims) == 0 || ps.Theta < 1 {
+			return nil, invalid("policy \"distance\" needs dims and theta >= 1")
+		}
+		return blowfish.DistanceThresholdPolicy(ps.Dims, ps.Theta)
+	default:
+		return nil, invalid("unknown policy kind %q", ps.Kind)
+	}
+}
+
+func (ws WorkloadSpec) build(k int) (*blowfish.Workload, error) {
+	switch ws.Kind {
+	case "histogram":
+		return blowfish.Histogram(k), nil
+	case "cumulative":
+		return blowfish.CumulativeHistogram(k), nil
+	case "allranges":
+		return blowfish.AllRanges1D(k), nil
+	case "ranges":
+		if len(ws.Ranges) == 0 {
+			return nil, invalid("workload \"ranges\" needs at least one range")
+		}
+		w := &blowfish.Workload{Name: "ranges", K: k}
+		for i, r := range ws.Ranges {
+			lo, hi := r[0], r[1]
+			if lo < 0 || hi < lo || hi >= k {
+				return nil, invalid("range %d [%d, %d] out of domain [0, %d)", i, lo, hi, k)
+			}
+			w.Queries = append(w.Queries, blowfish.Range1D{L: lo, R: hi})
+		}
+		return w, nil
+	case "rects":
+		if len(ws.Rects) == 0 {
+			return nil, invalid("workload \"rects\" needs at least one rectangle")
+		}
+		w := &blowfish.Workload{Name: "rects", K: k}
+		for i, r := range ws.Rects {
+			if len(r.Lo) == 0 || len(r.Lo) != len(r.Hi) {
+				return nil, invalid("rect %d has mismatched lo/hi arity", i)
+			}
+			w.Queries = append(w.Queries, blowfish.RangeKd{Lo: r.Lo, Hi: r.Hi})
+		}
+		return w, nil
+	default:
+		return nil, invalid("unknown workload kind %q", ws.Kind)
+	}
+}
+
+func (os OptionsSpec) build() (blowfish.Options, error) {
+	opts := blowfish.Options{Delta: os.Delta, Theta: os.Theta}
+	switch os.Estimator {
+	case "", "laplace":
+		opts.Estimator = blowfish.EstimatorLaplace
+	case "consistent":
+		opts.Estimator = blowfish.EstimatorConsistent
+	case "dawa":
+		opts.Estimator = blowfish.EstimatorDAWA
+	case "dawa-consistent":
+		opts.Estimator = blowfish.EstimatorDAWAConsistent
+	case "gaussian":
+		opts.Estimator = blowfish.EstimatorGaussian
+	case "geometric":
+		opts.Estimator = blowfish.EstimatorGeometric
+	default:
+		return opts, invalid("unknown estimator %q", os.Estimator)
+	}
+	return opts, nil
+}
+
+// --- plan cache ---
+
+// planKeySpec is the canonical identity of a compiled plan. Marshaling it
+// yields a deterministic key: struct fields encode in declaration order.
+type planKeySpec struct {
+	Policy   PolicySpec   `json:"policy"`
+	Workload WorkloadSpec `json:"workload"`
+	Options  OptionsSpec  `json:"options"`
+}
+
+// planKey returns the exact cache key and its short printable hash.
+func planKey(req *AnswerRequest) (string, string, error) {
+	raw, err := json.Marshal(planKeySpec{Policy: req.Policy, Workload: req.Workload, Options: req.Options})
+	if err != nil {
+		return "", "", invalid("unencodable plan key: %v", err)
+	}
+	h := fnv.New64a()
+	h.Write(raw)
+	return string(raw), fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// engineKey is the policy-level part of the cache identity.
+func engineKey(ps PolicySpec) (string, error) {
+	raw, err := json.Marshal(ps)
+	if err != nil {
+		return "", invalid("unencodable policy spec: %v", err)
+	}
+	return string(raw), nil
+}
+
+// plan returns the cached compiled plan for req, compiling (and caching the
+// policy's Engine) on first use.
+func (s *Server) plan(req *AnswerRequest) (*planEntry, error) {
+	key, _, err := planKey(req)
+	if err != nil {
+		return nil, err
+	}
+	entry, _, err := s.plans.getOrCreate(key, func() (*planEntry, error) {
+		ekey, err := engineKey(req.Policy)
+		if err != nil {
+			return nil, err
+		}
+		eng, _, err := s.engines.getOrCreate(ekey, func() (*blowfish.Engine, error) {
+			p, err := req.Policy.build()
+			if err != nil {
+				return nil, err
+			}
+			return blowfish.Open(p, blowfish.EngineOptions{Parallelism: s.cfg.Parallelism})
+		})
+		if err != nil {
+			return nil, err
+		}
+		w, err := req.Workload.build(eng.Policy().K)
+		if err != nil {
+			return nil, err
+		}
+		opts, err := req.Options.build()
+		if err != nil {
+			return nil, err
+		}
+		pl, err := eng.Prepare(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		e := &planEntry{plan: pl}
+		if s.cfg.BatchWindow > 0 {
+			e.batcher = newBatcher(s.cfg.BatchWindow, s.cfg.MaxBatch, func(calls []*batchCall) {
+				s.runBatch(pl, calls)
+			})
+		}
+		return e, nil
+	})
+	return entry, err
+}
+
+// runBatch releases one coalesced batch. Calls were charged at admission, so
+// the AnswerBatch runs with a nil accountant; they may carry different ε
+// (one AnswerBatch call answers at a single ε), so the batch splits into
+// per-ε groups first — concurrent serving traffic for one plan typically
+// shares its ε, making one group the common case.
+func (s *Server) runBatch(pl *blowfish.Plan, calls []*batchCall) {
+	s.batches.Add(1)
+	s.batchedReleases.Add(int64(len(calls)))
+	for old := s.maxBatch.Load(); int64(len(calls)) > old; old = s.maxBatch.Load() {
+		if s.maxBatch.CompareAndSwap(old, int64(len(calls))) {
+			break
+		}
+	}
+	groups := map[uint64][]*batchCall{}
+	var order []uint64
+	for _, c := range calls {
+		bits := math.Float64bits(c.eps)
+		if _, ok := groups[bits]; !ok {
+			order = append(order, bits)
+		}
+		groups[bits] = append(groups[bits], c)
+	}
+	for _, bits := range order {
+		group := groups[bits]
+		eps := math.Float64frombits(bits)
+		xs := make([][]float64, len(group))
+		for i, c := range group {
+			xs[i] = c.x
+		}
+		outs, err := pl.AnswerBatchWith(context.Background(), nil, xs, eps, s.split())
+		if err != nil {
+			for _, c := range group {
+				c.done <- batchResult{err: err}
+			}
+			continue
+		}
+		for i, c := range group {
+			c.done <- batchResult{answers: outs[i], batched: len(group)}
+		}
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": tenant,
+		"budget": budgetInfo(s.Accountant(tenant)),
+	})
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req AnswerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errorCount.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err), nil)
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	entry, err := s.plan(&req)
+	if err != nil {
+		s.errorCount.Add(1)
+		status, code := statusFor(err)
+		writeError(w, status, code, err.Error(), nil)
+		return
+	}
+	pl := entry.plan
+	// Validate the request fully before admission so a rejected request
+	// never spends budget.
+	if len(req.X) != pl.Domain() {
+		s.errorCount.Add(1)
+		err := fmt.Errorf("serve: database size %d != policy domain %d: %w",
+			len(req.X), pl.Domain(), blowfish.ErrDomainMismatch)
+		status, code := statusFor(err)
+		writeError(w, status, code, err.Error(), nil)
+		return
+	}
+	// Admission control: charge the tenant's ledger before any computation.
+	acct := s.Accountant(tenant)
+	if err := acct.Charge(pl.Cost(req.Epsilon), 1); err != nil {
+		status, code := statusFor(err)
+		if errors.Is(err, blowfish.ErrBudgetExhausted) {
+			s.rejectedBudget.Add(1)
+		} else {
+			s.errorCount.Add(1)
+		}
+		// Graceful degradation: the rejection carries the remaining budget
+		// so clients can tell "out of budget" from "slow down".
+		info := budgetInfo(acct)
+		writeError(w, status, code, err.Error(), &info)
+		return
+	}
+	var res batchResult
+	if entry.batcher != nil {
+		res = entry.batcher.submit(r.Context(), req.X, req.Epsilon)
+	} else {
+		out, err := pl.AnswerWith(r.Context(), nil, req.X, req.Epsilon, s.split())
+		res = batchResult{answers: out, batched: 1, err: err}
+	}
+	if res.err != nil {
+		s.errorCount.Add(1)
+		status, code := statusFor(res.err)
+		writeError(w, status, code, res.err.Error(), nil)
+		return
+	}
+	s.answered.Add(1)
+	_, hash, _ := planKey(&req)
+	writeJSON(w, http.StatusOK, AnswerResponse{
+		Algorithm: pl.Algorithm(),
+		Answers:   res.answers,
+		Batched:   res.batched,
+		PlanKey:   hash,
+		Budget:    budgetInfo(acct),
+	})
+}

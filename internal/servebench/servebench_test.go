@@ -1,0 +1,35 @@
+package servebench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestServeExperimentShape runs a miniature configuration end to end and
+// checks the table geometry plus basic sanity of every cell.
+func TestServeExperimentShape(t *testing.T) {
+	o := ServeOptions{
+		Tenants: 4, Requests: 16, K: 64, Queries: 50, Seed: 1,
+		BatchWindow: 200 * time.Microsecond, MaxBatch: 8, Procs: []int{1, 2},
+	}
+	tab, err := ServeExperiment(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || tab.Rows[0] != "GOMAXPROCS=1" || tab.Rows[1] != "GOMAXPROCS=2" {
+		t.Fatalf("rows %v", tab.Rows)
+	}
+	if len(tab.Columns) != 7 {
+		t.Fatalf("columns %v", tab.Columns)
+	}
+	for r, cells := range tab.Cells {
+		if len(cells) != len(tab.Columns) {
+			t.Fatalf("row %d has %d cells", r, len(cells))
+		}
+		for c, v := range cells {
+			if !(v > 0) {
+				t.Fatalf("row %d col %q: non-positive %v", r, tab.Columns[c], v)
+			}
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package strategy
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/sparse"
 	"github.com/privacylab/blowfish/internal/workload"
 )
@@ -42,6 +44,41 @@ func (p *Prepared) Answer(x []float64, eps float64, src *noise.Source) ([]float6
 // benchmarks; it is immutable and safe for concurrent Apply. Strategies
 // without a single such operator return nil.
 func (p *Prepared) Operator() sparse.Operator { return p.op }
+
+// AnswerBatch is the batch-coalescing hook behind Plan.AnswerBatch and the
+// serving daemon's cross-request batches: it releases the compiled workload
+// over every database in xs at budget eps, drawing release i's noise from
+// srcs[i] and fanning the releases out over pool (nil runs serially).
+// Because srcs are pre-split by the caller in serial order, results are
+// identical to len(xs) sequential Answer calls at any pool size.
+//
+// stop, when non-nil, is polled before each release; the first non-nil
+// error it returns aborts the remaining releases and is returned. Plan's
+// context-aware batch entry points pass ctx.Err, which is what bounds a
+// batch by a deadline between releases.
+func (p *Prepared) AnswerBatch(xs [][]float64, eps float64, srcs []*noise.Source, pool *par.Pool, stop func() error) ([][]float64, error) {
+	if len(xs) != len(srcs) {
+		return nil, fmt.Errorf("strategy: %s: %d databases with %d noise sources", p.Name, len(xs), len(srcs))
+	}
+	out := make([][]float64, len(xs))
+	err := pool.DoErr(0, len(xs), func(i int) error {
+		if stop != nil {
+			if err := stop(); err != nil {
+				return err
+			}
+		}
+		got, err := p.answer(xs[i], eps, srcs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // compilations counts strategy compilations process-wide; plan-reuse tests
 // assert repeated Prepared.Answer calls leave it flat while the legacy
