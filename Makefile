@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_eval.json
 
-.PHONY: all build test bench lint clean
+.PHONY: all build test bench fuzz gate lint clean
 
 all: lint build test
 
@@ -21,6 +21,25 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 	$(GO) run ./cmd/blowfishbench -exp table1,fig3,fig10a,fig10b,fig10spectral,planreuse -json $(BENCH_JSON)
 	$(GO) run ./cmd/blowfishbench -exp serve -full -json BENCH_serve.json
+	$(GO) run ./cmd/blowfishbench -exp stream -full -json BENCH_stream.json
+
+# Wire-format fuzzers for the daemon's JSON surface. CI runs a short smoke;
+# crank FUZZTIME locally to dig.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzAnswerWire' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzUpdateWire' -fuzztime $(FUZZTIME)
+
+# Regression gate: regenerate the benchmark reports at the same scale as the
+# checked-in baselines, then compare the machine-portable ratio columns.
+GATE_TOLERANCE ?= 0.5
+gate:
+	$(GO) run ./cmd/blowfishbench -exp sparse -json BENCH_sparse.fresh.json
+	$(GO) run ./cmd/blowfishbench -exp fig10spectral -json BENCH_fig10spectral.fresh.json
+	$(GO) run ./cmd/blowfishbench -exp stream -full -json BENCH_stream.fresh.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_sparse.json -current BENCH_sparse.fresh.json -tolerance $(GATE_TOLERANCE)
+	$(GO) run ./cmd/benchgate -baseline BENCH_fig10spectral.json -current BENCH_fig10spectral.fresh.json -tolerance $(GATE_TOLERANCE)
+	$(GO) run ./cmd/benchgate -baseline BENCH_stream.json -current BENCH_stream.fresh.json -tolerance $(GATE_TOLERANCE)
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,4 +47,4 @@ lint:
 	$(GO) vet ./...
 
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_*.fresh.json BENCH_smoke.json BENCH_eval.json

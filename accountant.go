@@ -112,6 +112,156 @@ func (a *Accountant) Charge(per Budget, releases int) error {
 	return a.charge(per.Epsilon, per.Delta, releases)
 }
 
+// BudgetContinual configures the continual-release (binary-tree counting)
+// budget mode: Epsilon and Delta bound any single record's lifetime privacy
+// loss across every release the stream ever makes, Epochs is the horizon the
+// composition is planned for, and Window caps how many trailing epochs one
+// release may aggregate. The mechanism splits Epsilon (and Delta) uniformly
+// over the L = 1 + ceil(log2(Epochs)) dyadic levels; each epoch's records
+// enter at most one node per level, so per-record spend after N epochs is
+// the closed form (1 + floor(log2 N)) · (Epsilon/L) ≤ Epsilon.
+type BudgetContinual struct {
+	Epsilon float64
+	Delta   float64
+	Epochs  int
+	Window  int
+}
+
+func (b BudgetContinual) validate() error {
+	if err := (Budget{Epsilon: b.Epsilon, Delta: b.Delta}).validate(); err != nil {
+		return err
+	}
+	if b.Epsilon <= 0 {
+		return fmt.Errorf("blowfish: continual budget needs Epsilon > 0, got %g: %w", b.Epsilon, ErrInvalidOptions)
+	}
+	if b.Epochs < 1 {
+		return fmt.Errorf("blowfish: continual budget needs Epochs >= 1, got %d: %w", b.Epochs, ErrInvalidOptions)
+	}
+	if b.Window < 1 || b.Window > b.Epochs {
+		return fmt.Errorf("blowfish: continual Window %d outside [1, Epochs=%d]: %w", b.Window, b.Epochs, ErrInvalidOptions)
+	}
+	return nil
+}
+
+// levels returns L, the number of dyadic levels the budget splits over.
+func (b BudgetContinual) levels() int {
+	l := 1
+	for span := 1; span < b.Epochs; span *= 2 {
+		l++
+	}
+	return l
+}
+
+// ContinualAccountant is the ledger of a continual-release stream. Unlike
+// the sequential Accountant, spend does not add per release: a record's
+// loss is the number of noised tree nodes containing it times the per-node
+// budget, so Spent reports the worst case over records —
+// maxLevels · (Epsilon/L, δ_node) with maxLevels = 1 + floor(log2 N) after
+// N epochs — as an exact product, never a float accumulation.
+type ContinualAccountant struct {
+	mu        sync.Mutex
+	cfg       BudgetContinual
+	lv        int
+	deltaNode float64
+	epochs    int
+	nodes     int64
+	maxLevels int
+}
+
+// NewContinualAccountant returns the ledger for one continual-release
+// configuration. The per-node δ defaults to Delta/L; streams prepared with
+// a Gaussian plan lower it to the plan's actual per-release δ.
+func NewContinualAccountant(cfg BudgetContinual) (*ContinualAccountant, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lv := cfg.levels()
+	return &ContinualAccountant{cfg: cfg, lv: lv, deltaNode: cfg.Delta / float64(lv)}, nil
+}
+
+// Config returns the budget the accountant was created with.
+func (a *ContinualAccountant) Config() BudgetContinual { return a.cfg }
+
+// Levels returns L, the number of dyadic levels the budget splits over.
+func (a *ContinualAccountant) Levels() int { return a.lv }
+
+// NodeBudget returns the (ε, δ) each noised tree node is released at.
+func (a *ContinualAccountant) NodeBudget() Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Budget{Epsilon: a.cfg.Epsilon / float64(a.lv), Delta: a.deltaNode}
+}
+
+// Epochs returns how many epochs have been released.
+func (a *ContinualAccountant) Epochs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epochs
+}
+
+// Nodes returns how many tree nodes have been noised.
+func (a *ContinualAccountant) Nodes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nodes
+}
+
+// Spent returns the worst-case per-record (ε, δ) loss so far: the closed
+// form maxLevels · NodeBudget, computed as a product so property tests can
+// assert exact equality.
+func (a *ContinualAccountant) Spent() Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Budget{
+		Epsilon: float64(a.maxLevels) * (a.cfg.Epsilon / float64(a.lv)),
+		Delta:   float64(a.maxLevels) * a.deltaNode,
+	}
+}
+
+// Remaining returns the allowance left for the worst-case record, clamped
+// at zero.
+func (a *ContinualAccountant) Remaining() Budget {
+	s := a.Spent()
+	r := Budget{Epsilon: a.cfg.Epsilon - s.Epsilon, Delta: a.cfg.Delta - s.Delta}
+	if r.Epsilon < 0 {
+		r.Epsilon = 0
+	}
+	if r.Delta < 0 {
+		r.Delta = 0
+	}
+	return r
+}
+
+// beginEpoch admits the next epoch, rejecting with ErrEpochsExhausted —
+// before any noise is drawn — once the planned horizon is used up. It
+// returns the 1-indexed epoch number and updates the worst-case level
+// count: epoch 1's records sit in one completed node per level l with
+// 2^l <= N, i.e. 1 + floor(log2 N) nodes after N epochs.
+func (a *ContinualAccountant) beginEpoch() (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.epochs >= a.cfg.Epochs {
+		return 0, fmt.Errorf("blowfish: epoch %d past continual horizon of %d: %w",
+			a.epochs+1, a.cfg.Epochs, ErrEpochsExhausted)
+	}
+	a.epochs++
+	lv := 1
+	for span := 2; span <= a.epochs; span *= 2 {
+		lv++
+	}
+	if lv > a.maxLevels {
+		a.maxLevels = lv
+	}
+	return a.epochs, nil
+}
+
+// noteNodes records n freshly noised tree nodes.
+func (a *ContinualAccountant) noteNodes(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nodes += int64(n)
+}
+
 // charge atomically reserves (eps, delta) for one release, or n releases at
 // once for batches (all-or-nothing). eps <= 0 disables noise, so under a
 // finite budget it is rejected outright rather than priced at zero.

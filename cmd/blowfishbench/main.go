@@ -13,7 +13,9 @@
 //	blowfishbench -exp all -json BENCH_eval.json
 //
 // Experiment ids: table1, fig3, fig10a, fig10b, planreuse, sparse (the
-// dense-vs-sparse answer-path timing sweep), fig10spectral (the dense-vs-
+// dense-vs-sparse answer-path timing sweep), stream (incremental stream
+// maintenance vs full recompile per delta batch, equivalence asserted at
+// 1e-9), fig10spectral (the dense-vs-
 // Lanczos lower-bound engine comparison, with equivalence asserted wherever
 // the dense reference is feasible), serve (sustained throughput of the
 // blowfishd serving stack with and without cross-request batching, one row
@@ -66,7 +68,7 @@ func main() {
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "fig10spectral", "planreuse", "sparse", "serve"}
+		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "fig10spectral", "planreuse", "sparse", "stream", "serve"}
 	}
 	report := benchReport{
 		Schema:      "blowfishbench/v1",
@@ -190,6 +192,15 @@ func run(id string, opts eval.Options, full bool, out io.Writer) ([]*eval.Table,
 		}
 	case id == "sparse":
 		if err := emit(eval.SparseAnswerExperiment(opts)); err != nil {
+			return nil, err
+		}
+	case id == "stream":
+		o := servebench.QuickStreamBench()
+		if full {
+			o = servebench.DefaultStreamBench()
+		}
+		o.Seed = opts.Seed
+		if err := emit(servebench.StreamExperiment(o)); err != nil {
 			return nil, err
 		}
 	case id == "serve":

@@ -19,9 +19,31 @@
 //	curl -s 'localhost:8080/v1/budget?tenant=alice'
 //	curl -s localhost:8080/v1/stats
 //
-// Endpoints: GET /healthz, POST /v1/answer, GET /v1/budget?tenant=NAME,
-// GET /v1/stats. See internal/serve for the wire formats and the typed
-// error → status mapping.
+// Streaming: POST /v1/update feeds a per-(tenant, plan) maintained stream
+// with incremental deltas (refreshing the cached plan instead of dropping
+// it), and /v1/answer with "stream": true releases over that maintained
+// state:
+//
+//	curl -s -X POST localhost:8080/v1/update -d '{
+//	    "tenant": "alice",
+//	    "policy": {"kind": "line", "k": 8},
+//	    "workload": {"kind": "histogram"},
+//	    "base": [3, 1, 4, 1, 5, 9, 2, 6],
+//	    "delta": {"cells": [2], "values": [1]}}'
+//	curl -s -X POST localhost:8080/v1/answer -d '{
+//	    "tenant": "alice",
+//	    "policy": {"kind": "line", "k": 8},
+//	    "workload": {"kind": "histogram"},
+//	    "epsilon": 0.5,
+//	    "stream": true}'
+//
+// With -tenant-qps each tenant's /v1/answer and /v1/update traffic is
+// token-bucket rate limited; excess requests get HTTP 429 with code
+// "rate_limited", distinct from the budget-admission 429 "budget_exhausted".
+//
+// Endpoints: GET /healthz, POST /v1/answer, POST /v1/update,
+// GET /v1/budget?tenant=NAME, GET /v1/stats. See internal/serve for the
+// wire formats and the typed error → status mapping.
 package main
 
 import (
@@ -47,6 +69,9 @@ func main() {
 		tenantDelta = flag.Float64("tenant-delta", 0, "per-tenant δ budget")
 		planCache   = flag.Int("plan-cache", 64, "compiled plans kept per LRU")
 		engineCache = flag.Int("engine-cache", 16, "opened engines kept per LRU")
+		streamCache = flag.Int("stream-cache", 64, "maintained per-(tenant, plan) streams kept per LRU")
+		tenantQPS   = flag.Float64("tenant-qps", 0, "per-tenant request rate limit in req/s (0 = unlimited)")
+		tenantBurst = flag.Int("tenant-burst", 0, "token-bucket burst behind -tenant-qps (0 = ceil(qps))")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for same-plan requests (0 disables batching)")
 		batchMax    = flag.Int("batch-max", 64, "max releases per coalesced batch")
 		seed        = flag.Int64("seed", 0, "noise seed (0 = from the clock; set only for reproducible tests)")
@@ -58,6 +83,9 @@ func main() {
 		TenantBudget:    blowfish.Budget{Epsilon: *tenantEps, Delta: *tenantDelta},
 		PlanCacheSize:   *planCache,
 		EngineCacheSize: *engineCache,
+		StreamCacheSize: *streamCache,
+		TenantQPS:       *tenantQPS,
+		TenantBurst:     *tenantBurst,
 		BatchWindow:     *batchWindow,
 		MaxBatch:        *batchMax,
 		Seed:            *seed,

@@ -242,7 +242,7 @@ func (e *Engine) Prepare(w *Workload, opts Options) (*Plan, error) {
 	if opts.Estimator == EstimatorGaussian {
 		delta = opts.Delta
 	}
-	return &Plan{eng: e, prep: prep, k: e.p.K, queries: w.Len(), delta: delta}, nil
+	return &Plan{eng: e, prep: prep, k: e.p.K, queries: w.Len(), delta: delta, opts: opts, w: w}, nil
 }
 
 // Plan is a workload bound to a compiled strategy. Answer and AnswerBatch
@@ -255,6 +255,8 @@ type Plan struct {
 	k       int
 	queries int
 	delta   float64 // per-release δ spend (Gaussian estimator), else 0
+	opts    Options // the options the plan was prepared with
+	w       *Workload
 }
 
 // Algorithm returns the name of the compiled strategy, matching the names

@@ -25,4 +25,15 @@ var (
 	// validation: a negative Theta, a negative Delta or budget, or
 	// EstimatorGaussian without a positive Delta.
 	ErrInvalidOptions = errors.New("invalid options")
+
+	// ErrEpochsExhausted reports a continual-release epoch past the
+	// BudgetContinual horizon: the binary-tree composition only covers the
+	// configured number of epochs, so the release is rejected before any
+	// noise is drawn.
+	ErrEpochsExhausted = errors.New("continual release epochs exhausted")
+
+	// ErrWindowExceeded reports a continual release asking for a window
+	// wider than the BudgetContinual composition covers; it too is rejected
+	// before any noise is drawn.
+	ErrWindowExceeded = errors.New("continual release window exceeded")
 )

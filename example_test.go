@@ -112,6 +112,41 @@ func ExampleAccountant() {
 	// release 3: spent eps=0.8, exhausted=true
 }
 
+// Example_streaming maintains a bound database incrementally: OpenStream
+// binds a compiled Plan to an initial histogram, Apply folds delta batches
+// into the strategy's maintained state (O(path depth) per cell here, versus
+// a full rebuild), and answers always reflect a consistent prefix of the
+// applied deltas. With StreamOptions.Continual set, the same Stream instead
+// releases epoch aggregates under the binary-tree counting ledger; see
+// examples/streaming for that mode.
+func Example_streaming() {
+	engine, err := blowfish.Open(blowfish.LinePolicy(8), blowfish.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	plan, err := engine.Prepare(blowfish.CumulativeHistogram(8), blowfish.Options{})
+	if err != nil {
+		panic(err)
+	}
+	st, err := engine.OpenStream(plan, []float64{3, 1, 4, 1, 5, 9, 2, 6}, blowfish.StreamOptions{})
+	if err != nil {
+		panic(err)
+	}
+	// Ten arrivals in bin 2, six departures from bin 7.
+	if err := st.Apply(blowfish.Delta{Cells: []int{2, 7}, Values: []float64{10, -6}}); err != nil {
+		panic(err)
+	}
+	out, err := st.Answer(0, blowfish.NewSource(1)) // eps <= 0: noiseless test mode
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	fmt.Println("patched cells:", st.Stats().Patches)
+	// Output:
+	// [3 4 18 19 24 33 35 35]
+	// patched cells: 2
+}
+
 // Example_serving is the multi-tenant pattern behind cmd/blowfishd: one
 // compiled Plan serves many tenants, each with its own Accountant, so budget
 // exhaustion for one tenant never blocks another.

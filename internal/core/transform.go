@@ -63,9 +63,12 @@ type Transform struct {
 	spg     *sparse.CSR
 }
 
-// treeLayout is the rooted parent structure of a tree policy graph.
+// treeLayout is the rooted parent structure of a tree policy graph. depth[v]
+// is the number of edges on v's path to the root — the cost of one
+// incremental UpdateTransform at v.
 type treeLayout struct {
 	parent, parentEdge, order []int
+	depth                     []int
 }
 
 // New builds the transform for a connected policy. For bounded policies
@@ -113,7 +116,11 @@ func newTransform(p *policy.Policy, alias int) (*Transform, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: tree layout: %w", err)
 		}
-		t.layout = &treeLayout{parent: parent, parentEdge: parentEdge, order: order}
+		depth := make([]int, p.G.N)
+		for _, v := range order[1:] {
+			depth[v] = depth[parent[v]] + 1
+		}
+		t.layout = &treeLayout{parent: parent, parentEdge: parentEdge, order: order, depth: depth}
 	}
 	transformBuilds.Add(1)
 	return t, nil
@@ -445,6 +452,52 @@ func (t *Transform) treeDatabaseTransformInto(xg, x []float64) {
 		}
 		down[p] += down[v]
 	}
+}
+
+// TransformInto is DatabaseTransform for tree policies writing into a
+// caller-provided xg (len NumEdges()) — the dense-recompute path of the
+// streaming state, bitwise identical to DatabaseTransform.
+func (t *Transform) TransformInto(xg, x []float64) {
+	if !t.isTree {
+		panic("core: TransformInto requires a tree policy")
+	}
+	t.treeDatabaseTransformInto(xg, x)
+}
+
+// UpdateTransform folds a single-cell delta into a maintained x_G for a tree
+// policy: adding delta at domain value cell changes exactly the subtree sums
+// on cell's root path, so the patch walks parent pointers adjusting the
+// signed edge values in O(PathDepth(cell)). A delta at ⊥/alias leaves x_G
+// unchanged (its row was dropped from P_G).
+func (t *Transform) UpdateTransform(xg []float64, cell int, delta float64) {
+	if !t.isTree {
+		panic("core: UpdateTransform requires a tree policy")
+	}
+	if t.Policy.HasBottom && cell == t.Policy.Bottom() {
+		return
+	}
+	g := t.Policy.G
+	parent, parentEdge := t.layout.parent, t.layout.parentEdge
+	for v := cell; v != t.root; v = parent[v] {
+		e := parentEdge[v]
+		if g.Edges[e].U == v {
+			xg[e] += delta
+		} else {
+			xg[e] -= delta
+		}
+	}
+}
+
+// PathDepth returns the number of edges on cell's root path — the cost of
+// one incremental UpdateTransform there. Zero for ⊥/alias.
+func (t *Transform) PathDepth(cell int) int {
+	if !t.isTree {
+		panic("core: PathDepth requires a tree policy")
+	}
+	if t.Policy.HasBottom && cell == t.Policy.Bottom() {
+		return 0
+	}
+	return t.layout.depth[cell]
 }
 
 // ReconstructVertexDatabase inverts the tree transform: given x_G it returns

@@ -81,6 +81,28 @@ func (c *lru[V]) getOrCreate(key string, build func() (V, error)) (V, bool, erro
 	return e.val, false, e.err
 }
 
+// get returns the value cached under key without building on a miss, moving
+// the entry to the front. A lookup that lands on an in-flight build waits for
+// it; failed builds report as misses.
+func (c *lru[V]) get(key string) (V, bool) {
+	var zero V
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*lruEntry[V])
+	c.mu.Unlock()
+	<-e.ready
+	if e.err != nil {
+		return zero, false
+	}
+	c.hits.Add(1)
+	return e.val, true
+}
+
 // len returns the number of cached entries (including in-flight builds).
 func (c *lru[V]) len() int {
 	c.mu.Lock()

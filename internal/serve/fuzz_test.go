@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzAnswerWire throws arbitrary bytes at the daemon's JSON decoding and
+// spec-construction path. The contract under fuzz: malformed requests come
+// back as structured 4xx errors and nothing ever panics — the recover
+// barrier turning a panic into a 500 counts as a failure here, not a save.
+// Resource caps below keep the fuzzer exploring the validation surface
+// instead of compiling giant (legitimate) strategies.
+func FuzzAnswerWire(f *testing.F) {
+	f.Add([]byte(`{"policy":{"kind":"line","k":8},"workload":{"kind":"histogram"},"epsilon":0.5,"x":[0,0,0,0,0,0,0,0]}`))
+	f.Add([]byte(`{"policy":{"kind":"grid","k":4},"workload":{"kind":"rects","rects":[{"lo":[0,0],"hi":[1,1]}]},"x":[]}`))
+	f.Add([]byte(`{"policy":{"kind":"distance","dims":[3,3],"theta":2},"workload":{"kind":"histogram"}}`))
+	f.Add([]byte(`{"policy":{"kind":"line","k":-1}}`))
+	f.Add([]byte(`{"policy":{"kind":"line","k":4},"workload":{"kind":"ranges","ranges":[[2,99]]}}`))
+	f.Add([]byte(`{"options":{"estimator":"psychic"}}`))
+	f.Add([]byte("{\"tenant\":\"\\u0000\",\"stream\":true}"))
+	f.Add([]byte(`{nope`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+
+	srv := New(Config{Seed: 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap the cost of well-formed requests: the target is the decoding
+		// and validation surface, not strategy-compile throughput.
+		var req AnswerRequest
+		if err := json.Unmarshal(data, &req); err == nil {
+			if req.Policy.K > 64 || req.Policy.Theta > 64 || req.Options.Theta > 64 {
+				t.Skip("domain too large for fuzzing")
+			}
+			vol := 1
+			for _, d := range req.Policy.Dims {
+				if d > 64 {
+					t.Skip("dimension too large for fuzzing")
+				}
+				if d > 0 {
+					vol *= d
+				}
+			}
+			if len(req.Policy.Dims) > 4 || vol > 4096 {
+				t.Skip("volume too large for fuzzing")
+			}
+			if len(req.X) > 8192 || len(req.Workload.Ranges) > 128 || len(req.Workload.Rects) > 64 {
+				t.Skip("payload too large for fuzzing")
+			}
+			if req.Workload.Kind == "allranges" && domainOf(req.Policy, vol) > 512 {
+				t.Skip("allranges workload too large for fuzzing")
+			}
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/answer", bytes.NewReader(data)))
+		if srv.Stats().Panics != 0 {
+			t.Fatalf("request panicked (recovered to %d %s): %q", rec.Code, rec.Body.String(), data)
+		}
+		if rec.Code == http.StatusInternalServerError {
+			t.Fatalf("500 on fuzzed input %q: %s", data, rec.Body.String())
+		}
+		// Every error must carry the structured schema.
+		if rec.Code != http.StatusOK {
+			var er ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Code == "" {
+				t.Fatalf("unstructured %d error body %q (err %v)", rec.Code, rec.Body.String(), err)
+			}
+		}
+	})
+}
+
+// domainOf sizes a policy's cell domain for the fuzz resource caps (an
+// allranges workload over k cells compiles k(k+1)/2 queries).
+func domainOf(ps PolicySpec, dimsVolume int) int {
+	switch ps.Kind {
+	case "grid":
+		return ps.K * ps.K
+	case "distance":
+		return dimsVolume
+	default:
+		return ps.K
+	}
+}
+
+// FuzzUpdateWire is the same contract for the streaming update endpoint.
+func FuzzUpdateWire(f *testing.F) {
+	f.Add([]byte(`{"policy":{"kind":"line","k":8},"workload":{"kind":"histogram"},"delta":{"cells":[1],"values":[2.5]}}`))
+	f.Add([]byte(`{"policy":{"kind":"line","k":4},"workload":{"kind":"histogram"},"base":[1,2,3,4],"delta":{}}`))
+	f.Add([]byte(`{"policy":{"kind":"line","k":4},"workload":{"kind":"histogram"},"delta":{"cells":[9],"values":[1]}}`))
+	f.Add([]byte(`{"delta":{"cells":[0],"values":[]}}`))
+	f.Add([]byte(`{nope`))
+
+	srv := New(Config{Seed: 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req UpdateRequest
+		if err := json.Unmarshal(data, &req); err == nil {
+			if req.Policy.K > 64 || req.Policy.Theta > 64 || req.Options.Theta > 64 {
+				t.Skip("domain too large for fuzzing")
+			}
+			vol := 1
+			for _, d := range req.Policy.Dims {
+				if d > 64 {
+					t.Skip("dimension too large for fuzzing")
+				}
+				if d > 0 {
+					vol *= d
+				}
+			}
+			if len(req.Policy.Dims) > 4 || vol > 4096 {
+				t.Skip("volume too large for fuzzing")
+			}
+			if len(req.Base) > 8192 || len(req.Delta.Cells) > 1024 || len(req.Delta.Values) > 1024 {
+				t.Skip("payload too large for fuzzing")
+			}
+			if req.Workload.Kind == "allranges" && domainOf(req.Policy, vol) > 512 {
+				t.Skip("allranges workload too large for fuzzing")
+			}
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/update", bytes.NewReader(data)))
+		if srv.Stats().Panics != 0 {
+			t.Fatalf("request panicked (recovered to %d %s): %q", rec.Code, rec.Body.String(), data)
+		}
+		if rec.Code == http.StatusInternalServerError {
+			t.Fatalf("500 on fuzzed input %q: %s", data, rec.Body.String())
+		}
+		if rec.Code != http.StatusOK {
+			var er ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Code == "" {
+				t.Fatalf("unstructured %d error body %q (err %v)", rec.Code, rec.Body.String(), err)
+			}
+		}
+	})
+}

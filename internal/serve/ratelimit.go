@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter enforces a per-tenant token-bucket rate limit across the
+// daemon's mutating endpoints (/v1/answer and /v1/update). Each tenant's
+// bucket refills continuously at qps tokens per second up to burst; a
+// request spends one token or is rejected with HTTP 429 and code
+// "rate_limited" — deliberately distinct from "budget_exhausted", so
+// clients can tell "slow down and retry" from "the privacy budget is gone
+// and retrying will never help". A nil *rateLimiter admits everything
+// (rate limiting disabled).
+type rateLimiter struct {
+	mu      sync.Mutex
+	qps     float64
+	burst   float64
+	now     func() time.Time // test hook; time.Now in production
+	buckets map[string]*tokenBucket
+}
+
+// tokenBucket is one tenant's bucket: the token balance as of last.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns a limiter at qps requests/second with the given
+// burst depth (<= 0 defaults to ceil(qps), at least 1), or nil — unlimited —
+// when qps <= 0.
+func newRateLimiter(qps float64, burst int, now func() time.Time) *rateLimiter {
+	if qps <= 0 || math.IsNaN(qps) || math.IsInf(qps, 0) {
+		return nil
+	}
+	if burst < 1 {
+		burst = int(math.Ceil(qps))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{qps: qps, burst: float64(burst), now: now, buckets: map[string]*tokenBucket{}}
+}
+
+// allow spends one token from tenant's bucket, reporting false when the
+// bucket is empty. New tenants start with a full bucket.
+func (rl *rateLimiter) allow(tenant string) bool {
+	if rl == nil {
+		return true
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b, ok := rl.buckets[tenant]
+	if !ok {
+		b = &tokenBucket{tokens: rl.burst, last: now}
+		rl.buckets[tenant] = b
+	}
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * rl.qps
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

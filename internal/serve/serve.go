@@ -39,6 +39,17 @@ type Config struct {
 	PlanCacheSize int
 	// EngineCacheSize caps the per-policy engine LRU (default 16 entries).
 	EngineCacheSize int
+	// StreamCacheSize caps the LRU of maintained per-(tenant, plan) streams
+	// created by POST /v1/update (default 64 entries).
+	StreamCacheSize int
+	// TenantQPS rate-limits each tenant to this many /v1/answer and
+	// /v1/update requests per second through a token bucket; excess requests
+	// get HTTP 429 with code "rate_limited" (distinct from
+	// "budget_exhausted"). 0 disables rate limiting.
+	TenantQPS float64
+	// TenantBurst is the token-bucket depth behind TenantQPS; <= 0 defaults
+	// to ceil(TenantQPS), at least 1.
+	TenantBurst int
 	// BatchWindow is how long the first pending request for a plan waits
 	// for others to coalesce with before its batch is released; 0 disables
 	// coalescing and answers every request individually (default 0).
@@ -64,6 +75,9 @@ func (c Config) withDefaults() Config {
 	if c.EngineCacheSize < 1 {
 		c.EngineCacheSize = 16
 	}
+	if c.StreamCacheSize < 1 {
+		c.StreamCacheSize = 64
+	}
 	if c.MaxBatch < 1 {
 		c.MaxBatch = 64
 	}
@@ -78,7 +92,11 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	Requests        int64 `json:"requests"`
 	Answered        int64 `json:"answered"`
+	Updates         int64 `json:"updates"`
+	StreamAnswers   int64 `json:"stream_answers"`
+	Streams         int64 `json:"streams"`
 	RejectedBudget  int64 `json:"rejected_budget"`
+	RejectedRate    int64 `json:"rejected_rate"`
 	Errors          int64 `json:"errors"`
 	Panics          int64 `json:"panics"`
 	Batches         int64 `json:"batches"`
@@ -104,6 +122,8 @@ type Server struct {
 	mux     *http.ServeMux
 	plans   *lru[*planEntry]
 	engines *lru[*blowfish.Engine]
+	streams *lru[*blowfish.Stream]
+	limiter *rateLimiter // nil when rate limiting is disabled
 
 	tenantMu sync.Mutex
 	tenants  map[string]*blowfish.Accountant
@@ -113,7 +133,10 @@ type Server struct {
 
 	answered        atomic.Int64
 	requests        atomic.Int64
+	updates         atomic.Int64
+	streamAnswers   atomic.Int64
 	rejectedBudget  atomic.Int64
+	rejectedRate    atomic.Int64
 	errorCount      atomic.Int64
 	panics          atomic.Int64
 	batches         atomic.Int64
@@ -121,10 +144,12 @@ type Server struct {
 	maxBatch        atomic.Int64
 }
 
-// planEntry is one cached compiled plan plus its coalescing batcher (nil
-// when batching is disabled).
+// planEntry is one cached compiled plan plus the engine that prepared it
+// (needed to open streams against it) and its coalescing batcher (nil when
+// batching is disabled).
 type planEntry struct {
 	plan    *blowfish.Plan
+	eng     *blowfish.Engine
 	batcher *batcher
 }
 
@@ -135,12 +160,15 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		plans:   newLRU[*planEntry](cfg.PlanCacheSize),
 		engines: newLRU[*blowfish.Engine](cfg.EngineCacheSize),
+		streams: newLRU[*blowfish.Stream](cfg.StreamCacheSize),
+		limiter: newRateLimiter(cfg.TenantQPS, cfg.TenantBurst, nil),
 		tenants: map[string]*blowfish.Accountant{},
 		src:     blowfish.NewSource(cfg.Seed),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/answer", s.handleAnswer)
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/budget", s.handleBudget)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
@@ -172,7 +200,11 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Requests:        s.requests.Load(),
 		Answered:        s.answered.Load(),
+		Updates:         s.updates.Load(),
+		StreamAnswers:   s.streamAnswers.Load(),
+		Streams:         int64(s.streams.len()),
 		RejectedBudget:  s.rejectedBudget.Load(),
+		RejectedRate:    s.rejectedRate.Load(),
 		Errors:          s.errorCount.Load(),
 		Panics:          s.panics.Load(),
 		Batches:         s.batches.Load(),
@@ -202,6 +234,20 @@ func (s *Server) Accountant(tenant string) *blowfish.Accountant {
 	}
 	s.tenants[tenant] = a
 	return a
+}
+
+// allowTenant runs the per-tenant rate limit, writing the 429
+// "rate_limited" rejection itself when the tenant's bucket is empty. It
+// runs before plan compilation and budget admission, so a rate-limited
+// request costs the daemon nothing.
+func (s *Server) allowTenant(w http.ResponseWriter, tenant string) bool {
+	if s.limiter.allow(tenant) {
+		return true
+	}
+	s.rejectedRate.Add(1)
+	writeError(w, http.StatusTooManyRequests, "rate_limited",
+		fmt.Sprintf("tenant %q exceeded the %g req/s rate limit; retry later", tenant, s.cfg.TenantQPS), nil)
+	return false
 }
 
 // split derives one independent noise stream from the daemon's root source.
@@ -258,7 +304,11 @@ type AnswerRequest struct {
 	Workload WorkloadSpec `json:"workload"`
 	Options  OptionsSpec  `json:"options"`
 	Epsilon  float64      `json:"epsilon"`
-	X        []float64    `json:"x"`
+	X        []float64    `json:"x,omitempty"`
+	// Stream answers over the tenant's maintained stream for this plan
+	// (created and fed by POST /v1/update) instead of a request-supplied
+	// database; X must then be absent. 404 "no_stream" when none exists.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // BudgetInfo reports a tenant's ledger; the Remaining fields are omitted for
@@ -363,6 +413,11 @@ func (ps PolicySpec) build() (*blowfish.Policy, error) {
 		if len(ps.Dims) == 0 || ps.Theta < 1 {
 			return nil, invalid("policy \"distance\" needs dims and theta >= 1")
 		}
+		for i, d := range ps.Dims {
+			if d < 1 {
+				return nil, invalid("policy \"distance\" dim %d must be >= 1, got %d", i, d)
+			}
+		}
 		return blowfish.DistanceThresholdPolicy(ps.Dims, ps.Theta)
 	default:
 		return nil, invalid("unknown policy kind %q", ps.Kind)
@@ -439,8 +494,8 @@ type planKeySpec struct {
 }
 
 // planKey returns the exact cache key and its short printable hash.
-func planKey(req *AnswerRequest) (string, string, error) {
-	raw, err := json.Marshal(planKeySpec{Policy: req.Policy, Workload: req.Workload, Options: req.Options})
+func planKey(pol PolicySpec, wl WorkloadSpec, o OptionsSpec) (string, string, error) {
+	raw, err := json.Marshal(planKeySpec{Policy: pol, Workload: wl, Options: o})
 	if err != nil {
 		return "", "", invalid("unencodable plan key: %v", err)
 	}
@@ -448,6 +503,12 @@ func planKey(req *AnswerRequest) (string, string, error) {
 	h.Write(raw)
 	return string(raw), fmt.Sprintf("%016x", h.Sum64()), nil
 }
+
+// streamKey scopes a maintained stream to one tenant and one plan. Plan
+// keys are json.Marshal output, which escapes control characters, so the
+// final NUL in the composite is always this separator — no two
+// (tenant, plan) pairs collide.
+func streamKey(tenant, plankey string) string { return tenant + "\x00" + plankey }
 
 // engineKey is the policy-level part of the cache identity.
 func engineKey(ps PolicySpec) (string, error) {
@@ -458,20 +519,21 @@ func engineKey(ps PolicySpec) (string, error) {
 	return string(raw), nil
 }
 
-// plan returns the cached compiled plan for req, compiling (and caching the
-// policy's Engine) on first use.
-func (s *Server) plan(req *AnswerRequest) (*planEntry, error) {
-	key, _, err := planKey(req)
+// plan returns the cached compiled plan for (pol, wl, o), compiling (and
+// caching the policy's Engine) on first use. The second result is the exact
+// cache key, which also scopes the plan's per-tenant streams.
+func (s *Server) plan(pol PolicySpec, wl WorkloadSpec, o OptionsSpec) (*planEntry, string, error) {
+	key, _, err := planKey(pol, wl, o)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	entry, _, err := s.plans.getOrCreate(key, func() (*planEntry, error) {
-		ekey, err := engineKey(req.Policy)
+		ekey, err := engineKey(pol)
 		if err != nil {
 			return nil, err
 		}
 		eng, _, err := s.engines.getOrCreate(ekey, func() (*blowfish.Engine, error) {
-			p, err := req.Policy.build()
+			p, err := pol.build()
 			if err != nil {
 				return nil, err
 			}
@@ -480,11 +542,11 @@ func (s *Server) plan(req *AnswerRequest) (*planEntry, error) {
 		if err != nil {
 			return nil, err
 		}
-		w, err := req.Workload.build(eng.Policy().K)
+		w, err := wl.build(eng.Policy().K)
 		if err != nil {
 			return nil, err
 		}
-		opts, err := req.Options.build()
+		opts, err := o.build()
 		if err != nil {
 			return nil, err
 		}
@@ -492,7 +554,7 @@ func (s *Server) plan(req *AnswerRequest) (*planEntry, error) {
 		if err != nil {
 			return nil, err
 		}
-		e := &planEntry{plan: pl}
+		e := &planEntry{plan: pl, eng: eng}
 		if s.cfg.BatchWindow > 0 {
 			e.batcher = newBatcher(s.cfg.BatchWindow, s.cfg.MaxBatch, func(calls []*batchCall) {
 				s.runBatch(pl, calls)
@@ -500,7 +562,7 @@ func (s *Server) plan(req *AnswerRequest) (*planEntry, error) {
 		}
 		return e, nil
 	})
-	return entry, err
+	return entry, key, err
 }
 
 // runBatch releases one coalesced batch. Calls were charged at admission, so
@@ -578,7 +640,10 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
-	entry, err := s.plan(&req)
+	if !s.allowTenant(w, tenant) {
+		return
+	}
+	entry, key, err := s.plan(req.Policy, req.Workload, req.Options)
 	if err != nil {
 		s.errorCount.Add(1)
 		status, code := statusFor(err)
@@ -586,6 +651,10 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pl := entry.plan
+	if req.Stream {
+		s.answerStream(w, r, tenant, key, &req, pl)
+		return
+	}
 	// Validate the request fully before admission so a rejected request
 	// never spends budget.
 	if len(req.X) != pl.Domain() {
@@ -625,7 +694,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.answered.Add(1)
-	_, hash, _ := planKey(&req)
+	_, hash, _ := planKey(req.Policy, req.Workload, req.Options)
 	writeJSON(w, http.StatusOK, AnswerResponse{
 		Algorithm: pl.Algorithm(),
 		Answers:   res.answers,

@@ -1,0 +1,188 @@
+package serve
+
+// This file is the streaming side of the daemon: POST /v1/update feeds a
+// per-(tenant, plan) maintained Stream with incremental deltas, and
+// /v1/answer with "stream": true releases over that maintained state. An
+// update refreshes the cached plan's stream through the single-flight LRU
+// instead of dropping the cache entry, so the expensive strategy compile
+// survives data churn: a delta costs O(path depth) or O(dirty suffix box)
+// per cell (with the library's dense-recompute fallback), not a recompile.
+//
+// Updates are admission-checked — the tenant must pass the rate limiter and
+// the delta is validated against the plan's domain before anything mutates —
+// but they charge no privacy budget: feeding data is not a release. Budget
+// is charged when the stream is answered.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	blowfish "github.com/privacylab/blowfish"
+)
+
+// DeltaSpec is a batch of single-cell changes: cell Cells[i] moves by
+// Values[i]. Cells may repeat.
+type DeltaSpec struct {
+	Cells  []int     `json:"cells"`
+	Values []float64 `json:"values"`
+}
+
+// UpdateRequest is the body of POST /v1/update. Policy/Workload/Options
+// identify the plan exactly as in an AnswerRequest; the stream it feeds is
+// scoped to (tenant, plan). Base seeds a newly created stream (zeros when
+// absent) and is rejected on a stream that already exists.
+type UpdateRequest struct {
+	Tenant   string       `json:"tenant"`
+	Policy   PolicySpec   `json:"policy"`
+	Workload WorkloadSpec `json:"workload"`
+	Options  OptionsSpec  `json:"options"`
+	Base     []float64    `json:"base,omitempty"`
+	Delta    DeltaSpec    `json:"delta"`
+}
+
+// UpdateResponse is the body of a successful POST /v1/update.
+type UpdateResponse struct {
+	PlanKey string `json:"plan_key"`
+	// Created reports whether this request opened the stream.
+	Created bool `json:"created"`
+	// Applied is how many cell deltas this request folded in.
+	Applied int `json:"applied"`
+	// Patches and Recomputes are the stream's cumulative refresh counters:
+	// incremental single-cell patches vs dense rebuild fallbacks.
+	Patches    int64 `json:"patches"`
+	Recomputes int64 `json:"recomputes"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errorCount.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err), nil)
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	if !s.allowTenant(w, tenant) {
+		return
+	}
+	entry, key, err := s.plan(req.Policy, req.Workload, req.Options)
+	if err != nil {
+		s.errorCount.Add(1)
+		status, code := statusFor(err)
+		writeError(w, status, code, err.Error(), nil)
+		return
+	}
+	pl := entry.plan
+	// Validate everything against the plan's domain before any state exists
+	// or mutates, so a rejected update leaves the stream untouched.
+	if req.Base != nil && len(req.Base) != pl.Domain() {
+		s.fail(w, fmt.Errorf("serve: base size %d != policy domain %d: %w",
+			len(req.Base), pl.Domain(), blowfish.ErrDomainMismatch))
+		return
+	}
+	if len(req.Delta.Cells) != len(req.Delta.Values) {
+		s.fail(w, invalid("delta has %d cells but %d values", len(req.Delta.Cells), len(req.Delta.Values)))
+		return
+	}
+	for _, c := range req.Delta.Cells {
+		if c < 0 || c >= pl.Domain() {
+			s.fail(w, fmt.Errorf("serve: delta cell %d outside domain [0, %d): %w",
+				c, pl.Domain(), blowfish.ErrDomainMismatch))
+			return
+		}
+	}
+	created := false
+	st, cached, err := s.streams.getOrCreate(streamKey(tenant, key), func() (*blowfish.Stream, error) {
+		base := req.Base
+		if base == nil {
+			base = make([]float64, pl.Domain())
+		}
+		return entry.eng.OpenStream(pl, base, blowfish.StreamOptions{})
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	created = !cached
+	if cached && req.Base != nil {
+		// A base on an existing stream would silently fork histories; make
+		// the caller drop it (or wait for the stream to age out of the LRU).
+		writeError(w, http.StatusConflict, "stream_exists",
+			"stream already exists; base only seeds a new stream", nil)
+		s.errorCount.Add(1)
+		return
+	}
+	if len(req.Delta.Cells) > 0 {
+		if err := st.Apply(blowfish.Delta{Cells: req.Delta.Cells, Values: req.Delta.Values}); err != nil {
+			s.fail(w, err)
+			return
+		}
+	}
+	s.updates.Add(1)
+	stats := st.Stats()
+	_, hash, _ := planKey(req.Policy, req.Workload, req.Options)
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		PlanKey:    hash,
+		Created:    created,
+		Applied:    len(req.Delta.Cells),
+		Patches:    stats.Patches,
+		Recomputes: stats.Recomputes,
+	})
+}
+
+// answerStream serves an AnswerRequest with Stream set: the release runs
+// over the tenant's maintained stream for the plan instead of a
+// request-supplied database. Admission control is identical to the static
+// path — the tenant's ledger is charged before any computation.
+func (s *Server) answerStream(w http.ResponseWriter, r *http.Request, tenant, key string, req *AnswerRequest, pl *blowfish.Plan) {
+	if req.X != nil {
+		s.fail(w, invalid(`a "stream": true request answers the maintained stream; x must be absent`))
+		return
+	}
+	st, ok := s.streams.get(streamKey(tenant, key))
+	if !ok {
+		s.errorCount.Add(1)
+		writeError(w, http.StatusNotFound, "no_stream",
+			fmt.Sprintf("tenant %q has no stream for this plan; create one with POST /v1/update", tenant), nil)
+		return
+	}
+	acct := s.Accountant(tenant)
+	if err := acct.Charge(pl.Cost(req.Epsilon), 1); err != nil {
+		status, code := statusFor(err)
+		if errors.Is(err, blowfish.ErrBudgetExhausted) {
+			s.rejectedBudget.Add(1)
+		} else {
+			s.errorCount.Add(1)
+		}
+		info := budgetInfo(acct)
+		writeError(w, status, code, err.Error(), &info)
+		return
+	}
+	out, err := st.AnswerWith(r.Context(), nil, req.Epsilon, s.split())
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.answered.Add(1)
+	s.streamAnswers.Add(1)
+	_, hash, _ := planKey(req.Policy, req.Workload, req.Options)
+	writeJSON(w, http.StatusOK, AnswerResponse{
+		Algorithm: pl.Algorithm(),
+		Answers:   out,
+		Batched:   1,
+		PlanKey:   hash,
+		Budget:    budgetInfo(acct),
+	})
+}
+
+// fail reports err through the shared typed-error mapping.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.errorCount.Add(1)
+	status, code := statusFor(err)
+	writeError(w, status, code, err.Error(), nil)
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	blowfish "github.com/privacylab/blowfish"
+)
+
+// postPath drives an arbitrary endpoint and returns the raw recorder.
+func postPath(t *testing.T, s *Server, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", path, bytes.NewReader(body)))
+	return rec
+}
+
+func updateBody(t *testing.T, tenant string, k int, base []float64, cells []int, values []float64) []byte {
+	t.Helper()
+	return mustJSON(UpdateRequest{
+		Tenant:   tenant,
+		Policy:   PolicySpec{Kind: "line", K: k},
+		Workload: WorkloadSpec{Kind: "histogram"},
+		Base:     base,
+		Delta:    DeltaSpec{Cells: cells, Values: values},
+	})
+}
+
+func streamAnswerBody(t *testing.T, tenant string, k int, eps float64) []byte {
+	t.Helper()
+	return mustJSON(AnswerRequest{
+		Tenant:   tenant,
+		Policy:   PolicySpec{Kind: "line", K: k},
+		Workload: WorkloadSpec{Kind: "histogram"},
+		Epsilon:  eps,
+		Stream:   true,
+	})
+}
+
+// TestUpdateAndStreamAnswer is the streaming round-trip: updates feed the
+// maintained stream through the plan cache, and stream answers reflect every
+// applied delta (noiselessly assertable at eps=0 with a histogram workload).
+func TestUpdateAndStreamAnswer(t *testing.T) {
+	s := New(Config{Seed: 5})
+	const k = 8
+
+	// Answering before any update must not invent a stream.
+	rec := postPath(t, s, "/v1/answer", streamAnswerBody(t, "alice", k, 0))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("answer before update: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Code != "no_stream" {
+		t.Fatalf("want no_stream, got %q (err %v)", rec.Body.String(), err)
+	}
+
+	// First update seeds the stream with a base and applies one delta.
+	base := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	rec = postPath(t, s, "/v1/update", updateBody(t, "alice", k, base, []int{2}, []float64{10}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first update: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if !ur.Created || ur.Applied != 1 {
+		t.Fatalf("first update response %+v, want created with 1 applied", ur)
+	}
+
+	// A second update rides the existing stream.
+	rec = postPath(t, s, "/v1/update", updateBody(t, "alice", k, nil, []int{0, 2}, []float64{-1, 0.5}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second update: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Created || ur.Applied != 2 {
+		t.Fatalf("second update response %+v, want existing stream with 2 applied", ur)
+	}
+	if ur.Patches+ur.Recomputes == 0 {
+		t.Fatalf("update response %+v reports no refresh work", ur)
+	}
+
+	// The noiseless stream answer is base plus every delta.
+	want := []float64{0, 2, 13.5, 4, 5, 6, 7, 8}
+	rec = postPath(t, s, "/v1/answer", streamAnswerBody(t, "alice", k, 0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream answer: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var ar AnswerResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ar); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if ar.Answers[i] != want[i] {
+			t.Fatalf("stream answers %v, want %v", ar.Answers, want)
+		}
+	}
+	if ar.Budget.Releases != 1 {
+		t.Fatalf("stream answer must charge the tenant ledger, got %+v", ar.Budget)
+	}
+
+	// Streams are scoped per tenant: bob has none for the same plan.
+	rec = postPath(t, s, "/v1/answer", streamAnswerBody(t, "bob", k, 0))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("foreign tenant stream answer: %d", rec.Code)
+	}
+
+	st := s.Stats()
+	if st.Updates != 2 || st.StreamAnswers != 1 || st.Streams != 1 {
+		t.Fatalf("stats %+v, want 2 updates / 1 stream answer / 1 stream", st)
+	}
+}
+
+// TestUpdateValidation pins the rejection paths: every malformed update
+// leaves the stream untouched and maps through the shared error schema.
+func TestUpdateValidation(t *testing.T) {
+	s := New(Config{Seed: 5})
+	const k = 4
+	check := func(name string, path string, body []byte, status int, code string) {
+		t.Helper()
+		rec := postPath(t, s, path, body)
+		if rec.Code != status {
+			t.Fatalf("%s: status %d, want %d (%s)", name, rec.Code, status, rec.Body.String())
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+			t.Fatalf("%s: undecodable error body: %v", name, err)
+		}
+		if er.Code != code {
+			t.Fatalf("%s: code %q, want %q", name, er.Code, code)
+		}
+	}
+	check("bad json", "/v1/update", []byte("{nope"), http.StatusBadRequest, "bad_json")
+	check("cell out of domain", "/v1/update",
+		updateBody(t, "a", k, nil, []int{9}, []float64{1}), http.StatusBadRequest, "domain_mismatch")
+	check("cells/values mismatch", "/v1/update",
+		updateBody(t, "a", k, nil, []int{1, 2}, []float64{1}), http.StatusBadRequest, "invalid_request")
+	check("base size mismatch", "/v1/update",
+		updateBody(t, "a", k, []float64{1, 2}, nil, nil), http.StatusBadRequest, "domain_mismatch")
+	check("unknown policy", "/v1/update",
+		mustJSON(UpdateRequest{Policy: PolicySpec{Kind: "mystery", K: k},
+			Workload: WorkloadSpec{Kind: "histogram"}}), http.StatusBadRequest, "invalid_request")
+
+	// None of the rejections above created a stream.
+	if st := s.Stats(); st.Streams != 0 || st.Updates != 0 {
+		t.Fatalf("stats %+v, want no streams and no updates after rejections", st)
+	}
+
+	// Seed a stream, then re-seeding it is a conflict.
+	if rec := postPath(t, s, "/v1/update", updateBody(t, "a", k, make([]float64, k), nil, nil)); rec.Code != http.StatusOK {
+		t.Fatalf("seeding update: %d (%s)", rec.Code, rec.Body.String())
+	}
+	check("base on existing stream", "/v1/update",
+		updateBody(t, "a", k, make([]float64, k), nil, nil), http.StatusConflict, "stream_exists")
+
+	// A stream answer must not also carry a database.
+	body := mustJSON(AnswerRequest{Tenant: "a", Policy: PolicySpec{Kind: "line", K: k},
+		Workload: WorkloadSpec{Kind: "histogram"}, Stream: true, X: make([]float64, k)})
+	check("stream answer with x", "/v1/answer", body, http.StatusBadRequest, "invalid_request")
+}
+
+// TestTenantRateLimit drives the token bucket through a fake clock: burst
+// admits, the empty bucket rejects with 429 "rate_limited" (NOT
+// "budget_exhausted" — clients must be able to tell "slow down" from "the
+// budget is gone"), refill readmits, and tenants are limited independently.
+func TestTenantRateLimit(t *testing.T) {
+	s := New(Config{Seed: 5, TenantQPS: 1, TenantBurst: 2})
+	now := time.Unix(1000, 0)
+	s.limiter.now = func() time.Time { return now }
+
+	x := make([]float64, 4)
+	code := func(tenant string) (int, string) {
+		rec := postPath(t, s, "/v1/answer", answerBody(t, tenant, 4, 0, x))
+		var er ErrorResponse
+		_ = json.Unmarshal(rec.Body.Bytes(), &er)
+		return rec.Code, er.Code
+	}
+	for i := 0; i < 2; i++ {
+		if c, _ := code("alice"); c != http.StatusOK {
+			t.Fatalf("burst request %d: %d", i, c)
+		}
+	}
+	c, ec := code("alice")
+	if c != http.StatusTooManyRequests || ec != "rate_limited" {
+		t.Fatalf("over-rate request: %d %q, want 429 rate_limited", c, ec)
+	}
+	// Other tenants have their own bucket.
+	if c, _ := code("bob"); c != http.StatusOK {
+		t.Fatalf("independent tenant: %d", c)
+	}
+	// Updates share the same limit.
+	if rec := postPath(t, s, "/v1/update", updateBody(t, "alice", 4, nil, nil, nil)); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited update: %d", rec.Code)
+	}
+	// One second refills one token.
+	now = now.Add(time.Second)
+	if c, _ := code("alice"); c != http.StatusOK {
+		t.Fatalf("post-refill request: %d", c)
+	}
+	if c, ec := code("alice"); c != http.StatusTooManyRequests || ec != "rate_limited" {
+		t.Fatalf("second post-refill request: %d %q", c, ec)
+	}
+	if got := s.Stats().RejectedRate; got != 3 {
+		t.Fatalf("rejected_rate = %d, want 3", got)
+	}
+}
+
+// TestRateLimitVsBudgetCodes runs a tenant into its privacy budget under an
+// active rate limiter and checks the two 429 causes stay distinguishable.
+func TestRateLimitVsBudgetCodes(t *testing.T) {
+	s := New(Config{Seed: 5, TenantQPS: 1000, TenantBurst: 1000,
+		TenantBudget: blowfish.Budget{Epsilon: 0.3}})
+	x := make([]float64, 4)
+	if rec := postPath(t, s, "/v1/answer", answerBody(t, "a", 4, 0.3, x)); rec.Code != http.StatusOK {
+		t.Fatalf("within budget: %d (%s)", rec.Code, rec.Body.String())
+	}
+	rec := postPath(t, s, "/v1/answer", answerBody(t, "a", 4, 0.3, x))
+	var er ErrorResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &er)
+	if rec.Code != http.StatusTooManyRequests || er.Code != "budget_exhausted" {
+		t.Fatalf("exhausted budget under rate limiter: %d %q", rec.Code, er.Code)
+	}
+}
+
+// TestRateLimiterDefaults pins the constructor edge cases.
+func TestRateLimiterDefaults(t *testing.T) {
+	if rl := newRateLimiter(0, 5, nil); rl != nil {
+		t.Fatal("qps=0 must disable rate limiting")
+	}
+	var disabled *rateLimiter
+	if !disabled.allow("anyone") {
+		t.Fatal("nil limiter must admit everything")
+	}
+	if rl := newRateLimiter(2.5, 0, nil); rl.burst != 3 {
+		t.Fatalf("default burst %g, want ceil(qps)=3", rl.burst)
+	}
+	if rl := newRateLimiter(0.5, 0, nil); rl.burst != 1 {
+		t.Fatalf("default burst %g, want at least 1", rl.burst)
+	}
+}

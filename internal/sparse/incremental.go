@@ -1,0 +1,130 @@
+package sparse
+
+import "fmt"
+
+// SATState is an incrementally maintained d-dimensional inclusive prefix-sum
+// (summed-area) table over a row-major dims grid — the data-side state of
+// the grid strategies' answer hot path. Two maintenance paths exist:
+//
+//   - PointAdd folds one cell delta into the table by patching the suffix
+//     box of entries at coordinates componentwise >= the cell's — O(volume
+//     of the dirty suffix box), which is O(polylog) for updates near the
+//     high corner (append-mostly streams) and degrades gracefully toward
+//     O(k) for updates near the origin; PointAddCost prices a patch so
+//     callers can fall back when patching would exceed a rebuild.
+//   - Recompute rebuilds the table densely from a histogram with exactly
+//     the float operations (and order) of workload.SummedAreaTable, so a
+//     recomputed table is bitwise identical to what the static answer path
+//     builds per release — correctness never depends on the patch path.
+//
+// A SATState is not safe for concurrent mutation; callers serialize updates
+// against reads (the public Stream API holds a lock).
+type SATState struct {
+	dims    []int
+	strides []int // row-major: strides[d-1] == 1
+	t       []float64
+	scratch []int
+}
+
+// NewSATState returns the maintained table for histogram x over dims.
+func NewSATState(dims []int, x []float64) (*SATState, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("sparse: SATState needs at least one dimension")
+	}
+	k := 1
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("sparse: SATState dimension %d < 1", d)
+		}
+		k *= d
+	}
+	if len(x) != k {
+		return nil, fmt.Errorf("sparse: SATState histogram length %d != grid volume %d", len(x), k)
+	}
+	s := &SATState{
+		dims:    append([]int(nil), dims...),
+		strides: make([]int, len(dims)),
+		t:       make([]float64, k),
+		scratch: make([]int, len(dims)),
+	}
+	stride := 1
+	for d := len(dims) - 1; d >= 0; d-- {
+		s.strides[d] = stride
+		stride *= dims[d]
+	}
+	s.Recompute(x)
+	return s, nil
+}
+
+// Table exposes the maintained table for corner reads (workload.EvalRangeKd
+// layout). Callers must not modify it.
+func (s *SATState) Table() []float64 { return s.t }
+
+// Recompute rebuilds the table densely from x: the same
+// running-prefix-per-dimension pass as workload.SummedAreaTable, bitwise.
+func (s *SATState) Recompute(x []float64) {
+	t := s.t
+	copy(t, x)
+	stride := 1
+	for dim := len(s.dims) - 1; dim >= 0; dim-- {
+		size := s.dims[dim]
+		block := stride * size
+		for base := 0; base < len(t); base += block {
+			for off := 0; off < stride; off++ {
+				for i := 1; i < size; i++ {
+					t[base+off+i*stride] += t[base+off+(i-1)*stride]
+				}
+			}
+		}
+		stride = block
+	}
+}
+
+// coords decodes a row-major cell index into s.scratch.
+func (s *SATState) coords(cell int) []int {
+	c := s.scratch
+	for d := len(s.dims) - 1; d >= 0; d-- {
+		c[d] = cell % s.dims[d]
+		cell /= s.dims[d]
+	}
+	return c
+}
+
+// PointAddCost returns the number of table entries PointAdd(cell, ·) would
+// touch: the volume of the suffix box from cell's coordinates.
+func (s *SATState) PointAddCost(cell int) int {
+	c := s.coords(cell)
+	cost := 1
+	for d, v := range c {
+		cost *= s.dims[d] - v
+	}
+	return cost
+}
+
+// PointAdd folds a single-cell delta into the table: every prefix sum whose
+// box contains the cell — the suffix box at coordinates >= the cell's —
+// shifts by delta.
+func (s *SATState) PointAdd(cell int, delta float64) {
+	lo := append([]int(nil), s.coords(cell)...)
+	cur := append([]int(nil), lo...)
+	d := len(s.dims)
+	for {
+		idx := 0
+		for i, v := range cur {
+			idx += v * s.strides[i]
+		}
+		s.t[idx] += delta
+		// Odometer over the suffix box.
+		i := d - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < s.dims[i] {
+				break
+			}
+			cur[i] = lo[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

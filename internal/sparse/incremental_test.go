@@ -1,0 +1,122 @@
+package sparse_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/sparse"
+	"github.com/privacylab/blowfish/internal/workload"
+)
+
+// TestSATStateRecomputeBitwise pins the bitwise contract the streaming
+// layer relies on: SATState.Recompute must produce exactly the table
+// workload.SummedAreaTable builds per release, for every dimensionality
+// the strategies use (including the dims = {k} prefix-sum specialization).
+func TestSATStateRecomputeBitwise(t *testing.T) {
+	src := noise.NewSource(7)
+	for _, dims := range [][]int{{17}, {6, 9}, {4, 5, 3}, {2, 3, 2, 4}} {
+		k := 1
+		for _, d := range dims {
+			k *= d
+		}
+		x := make([]float64, k)
+		for i := range x {
+			x[i] = src.Uniform()*20 - 10
+		}
+		st, err := sparse.NewSATState(dims, x)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		want := workload.SummedAreaTable(dims, x)
+		got := st.Table()
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("dims %v: table[%d] = %v, want %v (bitwise)", dims, i, got[i], want[i])
+			}
+		}
+		// A prefix-sum table is the 1-D special case, bitwise too.
+		if len(dims) == 1 {
+			prefix := workload.PrefixSums(x)
+			for i := range prefix {
+				if math.Float64bits(got[i]) != math.Float64bits(prefix[i]) {
+					t.Fatalf("prefix[%d] = %v, want %v (bitwise)", i, got[i], prefix[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSATStatePointAdd drives random single-cell patches and checks the
+// patched table agrees with a dense rebuild to float accumulation error.
+func TestSATStatePointAdd(t *testing.T) {
+	src := noise.NewSource(11)
+	for _, dims := range [][]int{{25}, {8, 11}, {5, 4, 6}} {
+		k := 1
+		for _, d := range dims {
+			k *= d
+		}
+		x := make([]float64, k)
+		for i := range x {
+			x[i] = src.Uniform() * 5
+		}
+		st, err := sparse.NewSATState(dims, x)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		for step := 0; step < 200; step++ {
+			cell := src.Intn(k)
+			delta := src.Uniform()*4 - 2
+			x[cell] += delta
+			st.PointAdd(cell, delta)
+		}
+		want := workload.SummedAreaTable(dims, x)
+		got := st.Table()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("dims %v: table[%d] = %v, want %v", dims, i, got[i], want[i])
+			}
+		}
+		// Recompute restores bitwise agreement.
+		st.Recompute(x)
+		got = st.Table()
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("dims %v after Recompute: table[%d] = %v, want %v (bitwise)", dims, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSATStatePointAddCost checks the advertised patch cost is exactly the
+// touched suffix-box volume.
+func TestSATStatePointAddCost(t *testing.T) {
+	dims := []int{4, 6}
+	st, err := sparse.NewSATState(dims, make([]float64, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PointAddCost(0); got != 24 {
+		t.Fatalf("cost(origin) = %d, want 24", got)
+	}
+	if got := st.PointAddCost(23); got != 1 {
+		t.Fatalf("cost(high corner) = %d, want 1", got)
+	}
+	// cell (1, 2): suffix box (4-1)·(6-2) = 12.
+	if got := st.PointAddCost(1*6 + 2); got != 12 {
+		t.Fatalf("cost(1,2) = %d, want 12", got)
+	}
+}
+
+// TestSATStateValidation checks the constructor rejects malformed shapes.
+func TestSATStateValidation(t *testing.T) {
+	if _, err := sparse.NewSATState(nil, nil); err == nil {
+		t.Fatal("want error for empty dims")
+	}
+	if _, err := sparse.NewSATState([]int{3, 0}, nil); err == nil {
+		t.Fatal("want error for zero dimension")
+	}
+	if _, err := sparse.NewSATState([]int{3, 3}, make([]float64, 8)); err == nil {
+		t.Fatal("want error for histogram/volume mismatch")
+	}
+}

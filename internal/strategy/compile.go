@@ -33,6 +33,9 @@ type Prepared struct {
 	// density is below sparse.DefaultMaxDensity, dense above), or the
 	// structure-aware workload-evaluation operator for grid strategies.
 	op sparse.Operator
+	// refresh builds the incremental per-stream State for one histogram
+	// (see stream.go); nil when the strategy has no incremental form.
+	refresh func(x []float64) (*State, error)
 }
 
 // Answer releases the compiled workload over database x under budget eps.

@@ -104,17 +104,25 @@ func CompileGridRange2D(name string, dims []int, kind mech.OracleKind, w *worklo
 	}
 	compilations.Add(1)
 	truth := &rangeKdOp{dims: dims, k: w.K, rects: rects}
+	// noiseInto is the per-release oracle pass, shared by the static answer
+	// and the streaming state so the two paths cannot drift. The oracles are
+	// the only randomness; they draw the same Source values whether the truth
+	// side is rebuilt per release or incrementally maintained.
+	noiseInto := func(out []float64, eps float64, src *noise.Source) {
+		s := newGrid2DStrategy(rows, cols, kind, eps, src)
+		for i, rq := range rects {
+			out[i] += s.queryNoise(rq.Lo[0], rq.Hi[0], rq.Lo[1], rq.Hi[1])
+		}
+	}
 	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
 		if err := checkDomain(w, x); err != nil {
 			return nil, err
 		}
-		s := newGrid2DStrategy(rows, cols, kind, eps, src)
 		out := make([]float64, len(rects))
 		truth.Apply(out, x)
-		for i, rq := range rects {
-			out[i] += s.queryNoise(rq.Lo[0], rq.Hi[0], rq.Lo[1], rq.Hi[1])
-		}
+		noiseInto(out, eps, src)
 		return out, nil
 	}
-	return &Prepared{Name: name, answer: answer, op: truth}, nil
+	refresh := satRefresh(name, w, dims, evalRects(dims, rects), noiseInto)
+	return &Prepared{Name: name, answer: answer, op: truth, refresh: refresh}, nil
 }

@@ -238,13 +238,10 @@ func CompileThetaGridRange2D(name string, dims []int, theta int, w *workload.Wor
 		rects[i] = plans[i].rq
 	}
 	truth := &rangeKdOp{dims: dims, k: w.K, rects: rects}
-	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
-		if err := checkDomain(w, x); err != nil {
-			return nil, err
-		}
+	// noiseInto is the per-release oracle pass shared by the static answer
+	// and the streaming state (see range2d.go).
+	noiseInto := func(out []float64, eps float64, src *noise.Source) {
 		s := lay.noised(eps, src)
-		out := make([]float64, len(plans))
-		truth.Apply(out, x)
 		for i := range plans {
 			qp := &plans[i]
 			var n float64
@@ -256,9 +253,18 @@ func CompileThetaGridRange2D(name string, dims []int, theta int, w *workload.Wor
 			}
 			out[i] += n
 		}
+	}
+	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
+		if err := checkDomain(w, x); err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(plans))
+		truth.Apply(out, x)
+		noiseInto(out, eps, src)
 		return out, nil
 	}
-	return &Prepared{Name: name, answer: answer, op: truth}, nil
+	refresh := satRefresh(name, w, dims, evalRects(dims, rects), noiseInto)
+	return &Prepared{Name: name, answer: answer, op: truth, refresh: refresh}, nil
 }
 
 func minInt2(a, b int) int {

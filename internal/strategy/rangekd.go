@@ -150,19 +150,25 @@ func CompileGridRangeKd(name string, dims []int, w *workload.Workload) (*Prepare
 	}
 	compilations.Add(1)
 	truth := &rangeKdOp{dims: dims, k: w.K, rects: rects}
+	// noiseInto is the per-release oracle pass shared by the static answer
+	// and the streaming state (see range2d.go).
+	noiseInto := func(out []float64, eps float64, src *noise.Source) {
+		s := newGridKdStrategy(dims, eps, src)
+		for i, rq := range rects {
+			out[i] += s.queryNoise(rq.Lo, rq.Hi)
+		}
+	}
 	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
 		if err := checkDomain(w, x); err != nil {
 			return nil, err
 		}
-		s := newGridKdStrategy(dims, eps, src)
 		out := make([]float64, len(rects))
 		truth.Apply(out, x)
-		for i, rq := range rects {
-			out[i] += s.queryNoise(rq.Lo, rq.Hi)
-		}
+		noiseInto(out, eps, src)
 		return out, nil
 	}
-	return &Prepared{Name: name, answer: answer, op: truth}, nil
+	refresh := satRefresh(name, w, dims, evalRects(dims, rects), noiseInto)
+	return &Prepared{Name: name, answer: answer, op: truth, refresh: refresh}, nil
 }
 
 // GridPolicyRangeKdVariance returns the analytic per-query error of the

@@ -131,6 +131,14 @@ func compileTree(name string, tr *core.Transform, stretch int, est Estimator, w 
 	}
 	recon := pick(rb.Build())
 	queries := w.Len()
+	refresh := func(x []float64) (*State, error) {
+		if err := checkDomain(w, x); err != nil {
+			return nil, err
+		}
+		ts := &treeState{tr: tr, stretch: stretch, est: est, aliasCoeffs: aliasCoeffs,
+			recon: recon, queries: queries, xg: make([]float64, len(edges))}
+		return newState(name, x, ts, w.K), nil
+	}
 	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
 		if err := checkDomain(w, x); err != nil {
 			return nil, err
@@ -154,7 +162,7 @@ func compileTree(name string, tr *core.Transform, stretch int, est Estimator, w 
 		recon.AddApply(out, xge)
 		return out, nil
 	}
-	return &Prepared{Name: name, answer: answer, op: recon}, nil
+	return &Prepared{Name: name, answer: answer, op: recon, refresh: refresh}, nil
 }
 
 // supportIndex narrows the edges that can carry nonzero transformed

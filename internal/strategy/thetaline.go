@@ -154,10 +154,9 @@ func CompileThetaLineGrouped(name string, k, theta int, kind mech.OracleKind, w 
 	}
 	compilations.Add(1)
 	truth := &range1DOp{k: w.K, ranges: ranges}
-	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
-		if err := checkDomain(w, x); err != nil {
-			return nil, err
-		}
+	// noiseInto is the per-release oracle pass shared by the static answer
+	// and the streaming state (see range2d.go).
+	noiseInto := func(out []float64, eps float64, src *noise.Source) {
 		effEps := eps
 		if eps > 0 {
 			effEps = core.EffectiveEpsilon(eps, lay.stretch)
@@ -166,16 +165,25 @@ func CompileThetaLineGrouped(name string, k, theta int, kind mech.OracleKind, w 
 		for g, sz := range lay.groupSizes {
 			oracles[g] = mech.NewOracle(kind, sz, effEps, src)
 		}
-		out := make([]float64, len(ranges))
-		truth.Apply(out, x)
 		for i := range ranges {
 			for _, run := range runs[i] {
 				out[i] += run.sign * oracles[run.group].IntervalNoise(run.lo, run.hi)
 			}
 		}
+	}
+	answer := func(x []float64, eps float64, src *noise.Source) ([]float64, error) {
+		if err := checkDomain(w, x); err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(ranges))
+		truth.Apply(out, x)
+		noiseInto(out, eps, src)
 		return out, nil
 	}
-	return &Prepared{Name: name, answer: answer, op: truth}, nil
+	// The 1-D prefix table is the dims = {k} summed-area table: the same
+	// left-to-right accumulation as workload.PrefixSums, bitwise.
+	refresh := satRefresh(name, w, []int{w.K}, evalRanges(ranges), noiseInto)
+	return &Prepared{Name: name, answer: answer, op: truth, refresh: refresh}, nil
 }
 
 func oracleKindName(kind mech.OracleKind) string {

@@ -1,0 +1,552 @@
+package blowfish
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// streamCase enumerates every strategy branch the Engine can select, so
+// the incremental-vs-dense property is pinned on all of them.
+func streamCases(t *testing.T) []struct {
+	name string
+	p    *Policy
+	w    *Workload
+	opts Options
+} {
+	t.Helper()
+	wsrc := NewSource(53)
+	cases := []struct {
+		name string
+		p    *Policy
+		w    *Workload
+		opts Options
+	}{
+		{"tree", LinePolicy(48), AllRanges1D(48), Options{}},
+		{"tree/dawa", LinePolicy(32), Histogram(32), Options{Estimator: EstimatorDAWA}},
+		{"grid", GridPolicy(6), RandomRangesKd([]int{6, 6}, 40, wsrc.Split()), Options{}},
+	}
+	if p, err := DistanceThresholdPolicy([]int{30}, 3); err != nil {
+		t.Fatalf("theta-line policy: %v", err)
+	} else {
+		cases = append(cases, struct {
+			name string
+			p    *Policy
+			w    *Workload
+			opts Options
+		}{"theta-line", p, AllRanges1D(30), Options{}})
+	}
+	if p, err := DistanceThresholdPolicy([]int{8, 8}, 3); err != nil {
+		t.Fatalf("theta-grid policy: %v", err)
+	} else {
+		cases = append(cases, struct {
+			name string
+			p    *Policy
+			w    *Workload
+			opts Options
+		}{"theta-grid", p, RandomRangesKd([]int{8, 8}, 40, wsrc.Split()), Options{}})
+	}
+	if p, err := DistanceThresholdPolicy([]int{4, 3, 4}, 1); err != nil {
+		t.Fatalf("kd-grid policy: %v", err)
+	} else {
+		cases = append(cases, struct {
+			name string
+			p    *Policy
+			w    *Workload
+			opts Options
+		}{"kd-grid", p, RandomRangesKd([]int{4, 3, 4}, 40, wsrc.Split()), Options{}})
+	}
+	return cases
+}
+
+// TestStreamIncrementalMatchesRecompute is the tentpole property: after any
+// sequence of incremental Applys the stream's exact answers agree with a
+// freshly answered snapshot to 1e-9, and after a dense Recompute they are
+// bitwise identical to Plan.Answer from the same Source state.
+func TestStreamIncrementalMatchesRecompute(t *testing.T) {
+	for _, tc := range streamCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := Open(tc.p, EngineOptions{})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			pl, err := eng.Prepare(tc.w, tc.opts)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			x := make([]float64, tc.p.K)
+			for i := range x {
+				x[i] = float64((i*7)%13 + 1)
+			}
+			st, err := eng.OpenStream(pl, x, StreamOptions{})
+			if err != nil {
+				t.Fatalf("open stream: %v", err)
+			}
+			dsrc := NewSource(977)
+			for batch := 0; batch < 12; batch++ {
+				n := 1 + dsrc.Intn(6)
+				cells := make([]int, n)
+				vals := make([]float64, n)
+				for i := range cells {
+					cells[i] = dsrc.Intn(tc.p.K)
+					vals[i] = float64(dsrc.Intn(9) - 4)
+				}
+				if err := st.Apply(Delta{Cells: cells, Values: vals}); err != nil {
+					t.Fatalf("apply: %v", err)
+				}
+			}
+			ctx := context.Background()
+			db := st.Database()
+			got, err := st.AnswerWith(ctx, nil, 0, NewSource(1))
+			if err != nil {
+				t.Fatalf("stream answer: %v", err)
+			}
+			want, err := pl.AnswerWith(ctx, nil, db, 0, NewSource(1))
+			if err != nil {
+				t.Fatalf("plan answer: %v", err)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Fatalf("incremental answer[%d] = %v, want %v (diff %g)", i, got[i], want[i], got[i]-want[i])
+				}
+			}
+			// After the dense rebuild the hot paths are bitwise identical,
+			// noise included.
+			st.Recompute()
+			got, err = st.AnswerWith(ctx, nil, 0.7, NewSource(42))
+			if err != nil {
+				t.Fatalf("stream answer: %v", err)
+			}
+			want, err = pl.AnswerWith(ctx, nil, db, 0.7, NewSource(42))
+			if err != nil {
+				t.Fatalf("plan answer: %v", err)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("recomputed answer[%d] = %v, want %v (bitwise)", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStreamDenseFallback checks the cost-based fallback: a batch touching
+// the whole domain recomputes densely instead of patching, and the result
+// is bitwise identical to a fresh Plan.Answer — correctness never depends
+// on the fast path.
+func TestStreamDenseFallback(t *testing.T) {
+	p := LinePolicy(64)
+	eng, err := Open(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := eng.Prepare(AllRanges1D(64), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.OpenStream(pl, make([]float64, 64), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := make([]int, 64)
+	vals := make([]float64, 64)
+	for i := range cells {
+		cells[i] = i
+		vals[i] = float64(i%5 + 1)
+	}
+	if err := st.Apply(Delta{Cells: cells, Values: vals}); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Recomputes == 0 {
+		t.Fatalf("full-domain batch should have fallen back to a dense recompute, stats %+v", stats)
+	}
+	ctx := context.Background()
+	got, err := st.AnswerWith(ctx, nil, 0.5, NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pl.AnswerWith(ctx, nil, st.Database(), 0.5, NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("fallback answer[%d] = %v, want %v (bitwise)", i, got[i], want[i])
+		}
+	}
+	// A small batch takes the patch path.
+	if err := st.Apply(Delta{Cells: []int{63}, Values: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if after := st.Stats(); after.Patches == stats.Patches {
+		t.Fatalf("single-cell batch should have patched incrementally, stats %+v", after)
+	}
+}
+
+// TestStreamApplyValidation checks a failed Apply mutates nothing.
+func TestStreamApplyValidation(t *testing.T) {
+	p := LinePolicy(16)
+	eng, _ := Open(p, EngineOptions{})
+	pl, err := eng.Prepare(Histogram(16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.OpenStream(pl, make([]float64, 16), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(Delta{Cells: []int{3, 99}, Values: []float64{1, 1}}); err == nil {
+		t.Fatal("want error for out-of-domain cell")
+	}
+	if err := st.Apply(Delta{Cells: []int{3}, Values: []float64{1, 2}}); err == nil {
+		t.Fatal("want error for cells/values length mismatch")
+	}
+	for i, v := range st.Database() {
+		if v != 0 {
+			t.Fatalf("failed Apply leaked into cell %d = %v", i, v)
+		}
+	}
+}
+
+// TestStreamConsistentPrefix races concurrent Apply batches against
+// concurrent answers on one shared stream (plus Plan.Answer/AnswerBatch on
+// snapshots of the same shared plan) and asserts every answer reflects a
+// consistent delta prefix: each batch adds +1 to every cell, so any
+// histogram answer must have all cells equal.
+func TestStreamConsistentPrefix(t *testing.T) {
+	const k = 96
+	p := LinePolicy(k)
+	eng, err := Open(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := eng.Prepare(Histogram(k), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.OpenStream(pl, make([]float64, k), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allCells := make([]int, k)
+	ones := make([]float64, k)
+	for i := range allCells {
+		allCells[i] = i
+		ones[i] = 1
+	}
+	const (
+		writers = 4
+		batches = 25
+		readers = 4
+	)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+2*readers)
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				if err := st.Apply(Delta{Cells: allCells, Values: ones}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			src := NewSource(seed)
+			for i := 0; i < 40; i++ {
+				out, err := st.AnswerWith(ctx, nil, 0, src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := 1; j < len(out); j++ {
+					if out[j] != out[0] {
+						errs <- errInconsistent(out[0], out[j], j)
+						return
+					}
+				}
+			}
+		}(int64(100 + r))
+		// Shared plan answered over stream snapshots at the same time.
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			src := NewSource(seed)
+			for i := 0; i < 10; i++ {
+				db := st.Database()
+				outs, err := pl.AnswerBatchWith(ctx, nil, [][]float64{db, db}, 0, src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, out := range outs {
+					for j := 1; j < len(out); j++ {
+						if out[j] != out[0] {
+							errs <- errInconsistent(out[0], out[j], j)
+							return
+						}
+					}
+				}
+			}
+		}(int64(200 + r))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := float64(writers * batches)
+	final, err := st.AnswerWith(ctx, nil, 0, NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range final {
+		if v != want {
+			t.Fatalf("final cell %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func errInconsistent(a, b float64, at int) error {
+	return fmt.Errorf("inconsistent answer: cell 0 = %v, cell %d = %v", a, at, b)
+}
+
+// TestContinualLedgerClosedForm is the acceptance property: after N epochs
+// the worst-case per-record spend equals the closed-form binary-tree
+// composition (1+⌊log2 N⌋)·(ε/L) exactly, and releases past the horizon or
+// window reject with typed errors before any noise is drawn.
+func TestContinualLedgerClosedForm(t *testing.T) {
+	const (
+		epochs = 13
+		window = 4
+		eps    = 2.0
+	)
+	p := LinePolicy(24)
+	eng, err := Open(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := eng.Prepare(Histogram(24), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.OpenStream(pl, make([]float64, 24), StreamOptions{
+		Continual: &BudgetContinual{Epsilon: eps, Epochs: epochs, Window: window},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := st.Ledger()
+	levels := led.Levels()
+	if levels != 5 { // 1 + ceil(log2 13)
+		t.Fatalf("levels = %d, want 5", levels)
+	}
+	src := NewSource(17)
+	for n := 1; n <= epochs; n++ {
+		if err := st.Apply(Delta{Cells: []int{n % 24}, Values: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+		rel, err := st.Release(src)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", n, err)
+		}
+		if rel.Epoch != n {
+			t.Fatalf("epoch = %d, want %d", rel.Epoch, n)
+		}
+		maxLv := 1 + int(math.Floor(math.Log2(float64(n))))
+		wantEps := float64(maxLv) * (eps / float64(levels))
+		if got := led.Spent().Epsilon; got != wantEps {
+			t.Fatalf("epoch %d: spent ε = %v, want exactly %v", n, got, wantEps)
+		}
+		if led.Spent().Epsilon > eps {
+			t.Fatalf("epoch %d: spend %v exceeds lifetime ε %v", n, led.Spent().Epsilon, eps)
+		}
+	}
+	// Horizon exhausted: typed rejection before any noise is drawn — the
+	// fresh source must be untouched and no extra node noised.
+	nodesBefore := led.Nodes()
+	fresh := NewSource(99)
+	if _, err := st.Release(fresh); !errors.Is(err, ErrEpochsExhausted) {
+		t.Fatalf("release past horizon: err = %v, want ErrEpochsExhausted", err)
+	}
+	if led.Nodes() != nodesBefore {
+		t.Fatalf("rejected release noised %d nodes", led.Nodes()-nodesBefore)
+	}
+	if got, want := fresh.Uniform(), NewSource(99).Uniform(); got != want {
+		t.Fatalf("rejected release consumed the noise source (%v != %v)", got, want)
+	}
+	if led.Epochs() != epochs {
+		t.Fatalf("epochs = %d, want %d", led.Epochs(), epochs)
+	}
+}
+
+// TestContinualOverWindowRejects checks a wider-than-configured window is a
+// typed rejection before any state or noise moves.
+func TestContinualOverWindowRejects(t *testing.T) {
+	p := LinePolicy(16)
+	eng, _ := Open(p, EngineOptions{})
+	pl, err := eng.Prepare(Histogram(16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.OpenStream(pl, make([]float64, 16), StreamOptions{
+		Continual: &BudgetContinual{Epsilon: 1, Epochs: 8, Window: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewSource(5)
+	if _, err := st.ReleaseWindow(4, fresh); !errors.Is(err, ErrWindowExceeded) {
+		t.Fatalf("over-window release: err = %v, want ErrWindowExceeded", err)
+	}
+	if st.Ledger().Epochs() != 0 || st.Ledger().Nodes() != 0 {
+		t.Fatalf("rejected release advanced the ledger: %d epochs, %d nodes",
+			st.Ledger().Epochs(), st.Ledger().Nodes())
+	}
+	if got, want := fresh.Uniform(), NewSource(5).Uniform(); got != want {
+		t.Fatal("rejected release consumed the noise source")
+	}
+	// Static answers are rejected in continual mode.
+	if _, err := st.AnswerWith(context.Background(), nil, 0.5, NewSource(1)); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("static answer in continual mode: err = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestContinualWindowAnswers drives a sliding window at enormous ε (noise
+// vanishes) and checks each release equals the true workload answer over
+// exactly the trailing window of epoch deltas, with the expected dyadic
+// node count.
+func TestContinualWindowAnswers(t *testing.T) {
+	const (
+		k      = 32
+		epochs = 8
+		window = 3
+	)
+	p := LinePolicy(k)
+	eng, _ := Open(p, EngineOptions{})
+	pl, err := eng.Prepare(Histogram(k), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.OpenStream(pl, make([]float64, k), StreamOptions{
+		Continual: &BudgetContinual{Epsilon: 1e9, Epochs: epochs, Window: window},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(31)
+	perEpoch := make([][]float64, epochs+1)
+	for e := 1; e <= epochs; e++ {
+		d := make([]float64, k)
+		d[e%k] = float64(e)
+		d[(3*e)%k] += 2
+		perEpoch[e] = d
+		cells, vals := []int{e % k, (3 * e) % k}, []float64{float64(e), 2}
+		if err := st.Apply(Delta{Cells: cells, Values: vals}); err != nil {
+			t.Fatal(err)
+		}
+		rel, err := st.Release(src)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		lo := e - window + 1
+		if lo < 1 {
+			lo = 1
+		}
+		if rel.WindowStart != lo {
+			t.Fatalf("epoch %d: window start %d, want %d", e, rel.WindowStart, lo)
+		}
+		want := make([]float64, k)
+		for j := lo; j <= e; j++ {
+			for i, v := range perEpoch[j] {
+				want[i] += v
+			}
+		}
+		for i := range want {
+			if math.Abs(rel.Answers[i]-want[i]) > 1e-5 {
+				t.Fatalf("epoch %d: answer[%d] = %v, want %v", e, i, rel.Answers[i], want[i])
+			}
+		}
+		if e == 4 && rel.Nodes != 2 { // [2,4] = node(1,4) + node(0,2)
+			t.Fatalf("epoch 4: cover used %d nodes, want 2", rel.Nodes)
+		}
+	}
+}
+
+// TestContinualValidation pins the OpenStream-time rejections: nonlinear
+// estimators, Gaussian δ too large for the per-node share, bad configs and
+// foreign plans.
+func TestContinualValidation(t *testing.T) {
+	p := LinePolicy(16)
+	eng, _ := Open(p, EngineOptions{})
+	x := make([]float64, 16)
+	cont := &BudgetContinual{Epsilon: 1, Delta: 1e-6, Epochs: 8, Window: 2}
+
+	dawa, err := eng.Prepare(Histogram(16), Options{Estimator: EstimatorDAWA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.OpenStream(dawa, x, StreamOptions{Continual: cont}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("DAWA continual stream: err = %v, want ErrInvalidOptions", err)
+	}
+	// DAWA is fine for plain (non-continual) streaming.
+	if _, err := eng.OpenStream(dawa, x, StreamOptions{}); err != nil {
+		t.Fatalf("DAWA plain stream: %v", err)
+	}
+
+	// Gaussian δ must fit the per-node share Delta/L (L = 4 here).
+	gauss, err := eng.Prepare(Histogram(16), Options{Estimator: EstimatorGaussian, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.OpenStream(gauss, x, StreamOptions{Continual: cont}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("oversized Gaussian δ: err = %v, want ErrInvalidOptions", err)
+	}
+	fine, err := eng.Prepare(Histogram(16), Options{Estimator: EstimatorGaussian, Delta: 2.5e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.OpenStream(fine, x, StreamOptions{Continual: cont})
+	if err != nil {
+		t.Fatalf("fitting Gaussian δ: %v", err)
+	}
+	if nb := st.Ledger().NodeBudget(); nb.Delta != 2.5e-7 {
+		t.Fatalf("node δ = %g, want the plan's per-release δ", nb.Delta)
+	}
+
+	lap, err := eng.Prepare(Histogram(16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.OpenStream(lap, x, StreamOptions{Continual: &BudgetContinual{Epsilon: 1, Epochs: 4, Window: 9}}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("window > epochs: err = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := eng.OpenStream(lap, x, StreamOptions{Continual: &BudgetContinual{Epochs: 4, Window: 2}}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("zero epsilon: err = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := eng.OpenStream(lap, x[:5], StreamOptions{}); !errors.Is(err, ErrDomainMismatch) {
+		t.Fatalf("short database: err = %v, want ErrDomainMismatch", err)
+	}
+	other, _ := Open(LinePolicy(16), EngineOptions{})
+	if _, err := other.OpenStream(lap, x, StreamOptions{}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("foreign plan: err = %v, want ErrInvalidOptions", err)
+	}
+	// Release on a plain stream is rejected.
+	plain, err := eng.OpenStream(lap, x, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Release(NewSource(1)); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("release on plain stream: err = %v, want ErrInvalidOptions", err)
+	}
+}
