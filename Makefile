@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_eval.json
 
-.PHONY: all build test bench fuzz gate lint clean
+.PHONY: all build test bench fuzz gate lint docs clean
 
 all: lint build test
 
@@ -22,6 +22,7 @@ bench:
 	$(GO) run ./cmd/blowfishbench -exp table1,fig3,fig10a,fig10b,fig10spectral,planreuse -json $(BENCH_JSON)
 	$(GO) run ./cmd/blowfishbench -exp serve -full -json BENCH_serve.json
 	$(GO) run ./cmd/blowfishbench -exp stream -full -json BENCH_stream.json
+	$(GO) run ./cmd/blowfishbench -exp shard -full -json BENCH_shard.json
 
 # Wire-format fuzzers for the daemon's JSON surface. CI runs a short smoke;
 # crank FUZZTIME locally to dig.
@@ -37,14 +38,24 @@ gate:
 	$(GO) run ./cmd/blowfishbench -exp sparse -json BENCH_sparse.fresh.json
 	$(GO) run ./cmd/blowfishbench -exp fig10spectral -json BENCH_fig10spectral.fresh.json
 	$(GO) run ./cmd/blowfishbench -exp stream -full -json BENCH_stream.fresh.json
+	$(GO) run ./cmd/blowfishbench -exp shard -full -json BENCH_shard.fresh.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_sparse.json -current BENCH_sparse.fresh.json -tolerance $(GATE_TOLERANCE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_fig10spectral.json -current BENCH_fig10spectral.fresh.json -tolerance $(GATE_TOLERANCE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_stream.json -current BENCH_stream.fresh.json -tolerance $(GATE_TOLERANCE)
+	$(GO) run ./cmd/benchgate -baseline BENCH_shard.json -current BENCH_shard.fresh.json -tolerance $(GATE_TOLERANCE)
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+
+# Documentation hygiene: format + vet, then fail if any internal package is
+# missing a package comment (the godoc landing text for that package).
+docs: lint
+	@missing="$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/...)"; \
+	if [ -n "$$missing" ]; then \
+		echo "packages missing a package comment:" >&2; echo "$$missing" >&2; exit 1; fi
+	@echo "docs: all internal packages documented"
 
 clean:
 	rm -f BENCH_*.fresh.json BENCH_smoke.json BENCH_eval.json

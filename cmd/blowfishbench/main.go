@@ -15,7 +15,9 @@
 // Experiment ids: table1, fig3, fig10a, fig10b, planreuse, sparse (the
 // dense-vs-sparse answer-path timing sweep), stream (incremental stream
 // maintenance vs full recompile per delta batch, equivalence asserted at
-// 1e-9), fig10spectral (the dense-vs-
+// 1e-9), shard (domain sharding past 10⁶ cells: blocked vs monolithic grid
+// answers, stream deltas, and tree compiles, equivalence asserted at 1e-9
+// in-loop — the -full grid tops out at 1024×1024), fig10spectral (the dense-vs-
 // Lanczos lower-bound engine comparison, with equivalence asserted wherever
 // the dense reference is feasible), serve (sustained throughput of the
 // blowfishd serving stack with and without cross-request batching, one row
@@ -68,7 +70,7 @@ func main() {
 	}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "fig10spectral", "planreuse", "sparse", "stream", "serve"}
+		ids = []string{"table1", "fig3", "fig8", "fig9", "fig10a", "fig10b", "fig10spectral", "planreuse", "sparse", "stream", "shard", "serve"}
 	}
 	report := benchReport{
 		Schema:      "blowfishbench/v1",
@@ -202,6 +204,21 @@ func run(id string, opts eval.Options, full bool, out io.Writer) ([]*eval.Table,
 		o.Seed = opts.Seed
 		if err := emit(servebench.StreamExperiment(o)); err != nil {
 			return nil, err
+		}
+	case id == "shard":
+		o := servebench.QuickShardBench()
+		if full {
+			o = servebench.DefaultShardBench()
+		}
+		o.Seed = opts.Seed
+		tabs, err := servebench.ShardExperiment(o)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tabs {
+			if err := emit(t, nil); err != nil {
+				return nil, err
+			}
 		}
 	case id == "serve":
 		o := servebench.QuickServe()

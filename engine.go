@@ -29,6 +29,18 @@ type EngineOptions struct {
 	// fan-outs cannot multiply goroutines); n >= 1 gives the Engine a
 	// dedicated pool of n workers.
 	Parallelism int
+
+	// ShardBlock controls domain sharding of strategy compiles and
+	// reconstructions (ROADMAP "Domain sharding past 10⁶ cells"). 0 (the
+	// default) is automatic: domains larger than 65536 cells shard into
+	// contiguous blocks of that size, compiled as parallel work items and
+	// reduced in fixed block order so answers are bitwise independent of
+	// worker count; smaller domains keep the exact pre-sharding path. A
+	// value n >= 1 forces blocks of at most n cells (grid domains round to
+	// whole dim-0 slices); n < 0 disables sharding entirely. Streams opened
+	// from a sharded plan maintain per-block summed-area tables, capping
+	// Stream.Apply patch cost at the block size instead of the domain size.
+	ShardBlock int
 }
 
 func (o EngineOptions) validate() error {
@@ -62,6 +74,7 @@ type Engine struct {
 	p    *policy.Policy
 	acct *Accountant
 	pool *par.Pool
+	cfg  strategy.Config // sharding knobs threaded into every compile
 
 	// mu guards trees, the per-(branch, theta) transform artifact cache.
 	// Artifacts are immutable once stored, so Plans use them lock-free.
@@ -108,6 +121,7 @@ func Open(p *Policy, opts EngineOptions) (*Engine, error) {
 		p:     p,
 		acct:  newAccountant(opts.Budget),
 		pool:  pool,
+		cfg:   strategy.Config{MaxBlockCells: opts.ShardBlock, Pool: pool},
 		trees: map[treeKey]*treeArtifact{},
 	}
 	// Eagerly compile the default-branch artifact so the first Prepare (and
@@ -193,26 +207,26 @@ func (e *Engine) algorithm(w *Workload, opts Options) (Algorithm, error) {
 		if err != nil {
 			return Algorithm{}, err
 		}
-		return strategy.TreePolicy(art.name, art.tr, art.stretch, estimatorFunc(opts)), nil
+		return strategy.TreePolicy(art.name, art.tr, art.stretch, estimatorFunc(opts), e.cfg), nil
 	case len(p.Dims) == 1 && theta >= 1:
 		art, err := e.treeArtifact(treeKey{branch: "theta-line", theta: theta})
 		if err != nil {
 			return Algorithm{}, err
 		}
-		return strategy.TreePolicy(art.name, art.tr, art.stretch, estimatorFunc(opts)), nil
+		return strategy.TreePolicy(art.name, art.tr, art.stretch, estimatorFunc(opts), e.cfg), nil
 	case len(p.Dims) == 2 && theta == 1 && rangesOnly(w):
-		return strategy.GridPolicyRange2D(p.Dims, mech.PriveletKind), nil
+		return strategy.GridPolicyRange2D(p.Dims, mech.PriveletKind, e.cfg), nil
 	case len(p.Dims) == 2 && theta > 1 && rangesOnly(w):
-		return strategy.ThetaGridRange2D(p.Dims, theta), nil
+		return strategy.ThetaGridRange2D(p.Dims, theta, e.cfg), nil
 	case len(p.Dims) > 2 && theta == 1 && rangesOnly(w):
-		return strategy.GridPolicyRangeKd(p.Dims), nil
+		return strategy.GridPolicyRangeKd(p.Dims, e.cfg), nil
 	case p.Connected():
 		// Generic fallback: BFS spanning tree with computed stretch.
 		art, err := e.treeArtifact(treeKey{branch: "bfs"})
 		if err != nil {
 			return Algorithm{}, err
 		}
-		return strategy.TreePolicy(art.name, art.tr, art.stretch, estimatorFunc(opts)), nil
+		return strategy.TreePolicy(art.name, art.tr, art.stretch, estimatorFunc(opts), e.cfg), nil
 	default:
 		return Algorithm{}, fmt.Errorf("blowfish: policy %q is disconnected; split it with SplitComponents: %w",
 			p.Name, ErrDisconnectedPolicy)

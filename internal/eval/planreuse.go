@@ -48,7 +48,7 @@ func PlanReuseExperiment(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		alg := strategy.TreePolicy("blowfish(tree)", tr, 1, strategy.LaplaceEstimator)
+		alg := strategy.TreePolicy("blowfish(tree)", tr, 1, strategy.LaplaceEstimator, strategy.Config{})
 		return alg.Run(w, x, eps, s)
 	}
 
@@ -67,7 +67,7 @@ func PlanReuseExperiment(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	prep, err := strategy.CompileTree("blowfish(tree)", tr, 1, strategy.LaplaceEstimator, w)
+	prep, err := strategy.CompileTree("blowfish(tree)", tr, 1, strategy.LaplaceEstimator, w, strategy.Config{})
 	if err != nil {
 		return nil, err
 	}

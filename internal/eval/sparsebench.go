@@ -60,11 +60,11 @@ func SparseAnswerExperiment(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		dense, err := strategy.CompileTreeDense("blowfish(tree)", tr, 1, strategy.LaplaceEstimator, w)
+		dense, err := strategy.CompileTreeDense("blowfish(tree)", tr, 1, strategy.LaplaceEstimator, w, strategy.Config{})
 		if err != nil {
 			return nil, err
 		}
-		sp, err := strategy.CompileTree("blowfish(tree)", tr, 1, strategy.LaplaceEstimator, w)
+		sp, err := strategy.CompileTree("blowfish(tree)", tr, 1, strategy.LaplaceEstimator, w, strategy.Config{})
 		if err != nil {
 			return nil, err
 		}

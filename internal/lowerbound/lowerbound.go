@@ -2,6 +2,20 @@
 // SVD-based matrix-mechanism bound of Li and Miklau extended to Blowfish
 // policies (Corollary A.2), which drives Figure 10, and the Ω(1/ε²) bound of
 // Lemma 5.3.
+//
+// The bounds need the spectrum of the edge-domain workload Gram
+// P_Gᵀ(WᵀW)P_G, and three engines serve it, dispatched on problem shape by
+// SVDBoundFromGram/SVDBoundFromSource: a dense eigensolve for policies with
+// at most DenseEigenMaxDim edges (exact, O(|E|³)); a Cholesky-reduced k×k
+// eigensolve for domains up to ReducedEigenMaxDomain cells (identical
+// output, a θ³ speedup); and thick-restart Lanczos beyond, driven purely by
+// matvecs — the edge Gram is never materialized, range-workload Grams apply
+// in closed form (RangeGramSource1D/Grid), and the certified tail bound
+// keeps reported bounds valid at any truncation rank. The grid Gram's
+// per-dimension passes fan independent lines out over the shared
+// internal/par pool past gramParFloor cells; each output element is written
+// by exactly one worker, so matvecs (and hence the resolved spectra) are
+// bitwise independent of the worker count.
 package lowerbound
 
 import (

@@ -8,6 +8,7 @@ import (
 
 	"github.com/privacylab/blowfish/internal/core"
 	"github.com/privacylab/blowfish/internal/linalg"
+	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/policy"
 	"github.com/privacylab/blowfish/internal/sparse"
 )
@@ -217,20 +218,33 @@ func (g *rangeGramGrid) NuclearSum() float64 {
 	return sum
 }
 
+// gramParFloor gates the per-line fan-out of the grid Gram matvec: below it
+// the goroutine handoff costs more than the O(k·d) passes save.
+const gramParFloor = 1 << 15
+
+// Apply runs one gram1DInto pass per dimension over the reshaped tensor.
+// Within a pass the lines are independent — each owns a disjoint stride set
+// of dst — so large domains fan the lines out in contiguous blocks over the
+// shared pool (ROADMAP domain sharding: the same blocks-over-par.Pool
+// pattern as the strategy compiles). Every dst element is written by exactly
+// one worker per pass and the passes stay sequential barriers, so the result
+// is bitwise identical at any worker count, including the serial path.
 func (g *rangeGramGrid) Apply(dst, x []float64) {
 	if len(x) != g.k || len(dst) != g.k {
 		panic(fmt.Sprintf("lowerbound: grid Gram source shape mismatch %d ← %d · %d", len(dst), g.k, len(x)))
 	}
 	copy(dst, x)
-	buf := g.pool.Get().(*gridScratch)
+	w := par.Workers(linalg.Parallelism())
 	for d := len(g.dims) - 1; d >= 0; d-- {
 		kd := g.dims[d]
 		stride := g.strides[d]
 		span := kd * stride
-		in, out := buf.in[:kd], buf.out[:kd]
-		for base0 := 0; base0 < g.k; base0 += span {
-			for inner := 0; inner < stride; inner++ {
-				base := base0 + inner
+		lines := g.k / kd
+		runLines := func(lo, hi int) {
+			buf := g.pool.Get().(*gridScratch)
+			in, out := buf.in[:kd], buf.out[:kd]
+			for li := lo; li < hi; li++ {
+				base := (li/stride)*span + li%stride
 				for t := 0; t < kd; t++ {
 					in[t] = dst[base+t*stride]
 				}
@@ -239,9 +253,17 @@ func (g *rangeGramGrid) Apply(dst, x []float64) {
 					dst[base+t*stride] = out[t]
 				}
 			}
+			g.pool.Put(buf)
 		}
+		if w <= 1 || g.k < gramParFloor || lines < 2 {
+			runLines(0, lines)
+			continue
+		}
+		blocks := par.Blocks(lines, 4*w, 1)
+		par.Shared().Do(w, len(blocks), func(bi int) {
+			runLines(blocks[bi].Lo, blocks[bi].Hi)
+		})
 	}
-	g.pool.Put(buf)
 }
 
 func (g *rangeGramGrid) AddApply(dst, x []float64) {

@@ -1,16 +1,31 @@
 // Package serve is the multi-tenant serving core behind cmd/blowfishd: a
 // long-lived HTTP answer service on top of the compile-once Engine/Plan API.
 //
-// The daemon keeps an LRU plan cache keyed by (policy, workload, options) —
-// compiling a strategy once and serving it to every tenant — and one budget
+// The daemon keeps LRU caches for compiled engines, plans, and maintained
+// streams — keyed by (policy, workload, options) with single-flight builds,
+// so a strategy compiles once and serves every tenant — and one budget
 // Accountant per tenant. Admission control runs before any computation: a
 // release is charged against the tenant's (ε, δ) budget up front and
 // rejected with HTTP 429 (and the remaining budget in the response body)
-// when it would overspend. Admitted requests for the same plan are coalesced
-// across tenants into single Plan.AnswerBatch calls over the shared worker
-// pool. Typed library errors map to HTTP statuses consistently (see
-// statusFor), and every handler runs behind a recover barrier so a panicking
-// request degrades to a 500 response instead of killing the process.
+// when it would overspend; an optional per-tenant token bucket rate-limits
+// ahead of the ledger. Admitted requests for the same plan inside the batch
+// window are coalesced across tenants into single Plan.AnswerBatch calls
+// over the shared worker pool.
+//
+// POST /v1/update feeds the streaming path: each (tenant, plan) pair owns a
+// maintained Stream whose deltas refresh the cached state without charging
+// any budget (ingesting data releases nothing); /v1/answer with
+// "stream": true then releases over the maintained state under the tenant's
+// ledger. /v1/budget exposes a ledger, /v1/stats the cache/batch/panic
+// counters, /healthz liveness.
+//
+// Typed library errors map to HTTP statuses and stable wire codes
+// consistently (see statusFor and writeError — budget_exhausted and
+// rate_limited are 429, domain_mismatch/invalid_request/bad_json 400,
+// disconnected_policy 422, stream_exists 409, no_stream 404,
+// deadline_exceeded 504, canceled 503, panic/internal 500), and every
+// handler runs behind a recover barrier so a panicking request degrades to
+// a 500 response instead of killing the process.
 package serve
 
 import (

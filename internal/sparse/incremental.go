@@ -1,6 +1,10 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/privacylab/blowfish/internal/par"
+)
 
 // SATState is an incrementally maintained d-dimensional inclusive prefix-sum
 // (summed-area) table over a row-major dims grid — the data-side state of
@@ -17,17 +21,38 @@ import "fmt"
 //     recomputed table is bitwise identical to what the static answer path
 //     builds per release — correctness never depends on the patch path.
 //
+// A blocked state (NewSATStateBlocked) partitions the leading dimension into
+// slabs of at most blockRows rows and maintains an independent summed-area
+// table per slab, concatenated in the same buffer at the slab's row-major
+// offset. Patches then stop at the owning slab's boundary, capping PointAdd
+// at the slab volume — o(k) per delta at any update position — and
+// Recompute rebuilds slabs in parallel over the pool (each slab written by
+// exactly one worker, so the result is bitwise independent of worker
+// count). Readers of a blocked table must clip their prefix-box corner
+// reads to slab boundaries; the strategy shard artifacts do exactly that.
+//
 // A SATState is not safe for concurrent mutation; callers serialize updates
 // against reads (the public Stream API holds a lock).
 type SATState struct {
-	dims    []int
-	strides []int // row-major: strides[d-1] == 1
-	t       []float64
-	scratch []int
+	dims      []int
+	strides   []int // row-major: strides[d-1] == 1
+	t         []float64
+	scratch   []int
+	blockRows int // slab height along dims[0]; dims[0] when unblocked
+	pool      *par.Pool
 }
 
-// NewSATState returns the maintained table for histogram x over dims.
+// NewSATState returns the maintained table for histogram x over dims, as a
+// single slab (the classic global summed-area table).
 func NewSATState(dims []int, x []float64) (*SATState, error) {
+	return NewSATStateBlocked(dims, x, 0, nil)
+}
+
+// NewSATStateBlocked returns a maintained table whose leading dimension is
+// split into slabs of blockRows rows each (the last slab may be shorter).
+// blockRows <= 0 or >= dims[0] selects the unblocked single-slab layout.
+// pool (nil means par.Shared()) fans slab rebuilds out during Recompute.
+func NewSATStateBlocked(dims []int, x []float64, blockRows int, pool *par.Pool) (*SATState, error) {
 	if len(dims) == 0 {
 		return nil, fmt.Errorf("sparse: SATState needs at least one dimension")
 	}
@@ -41,11 +66,19 @@ func NewSATState(dims []int, x []float64) (*SATState, error) {
 	if len(x) != k {
 		return nil, fmt.Errorf("sparse: SATState histogram length %d != grid volume %d", len(x), k)
 	}
+	if blockRows <= 0 || blockRows > dims[0] {
+		blockRows = dims[0]
+	}
+	if pool == nil {
+		pool = par.Shared()
+	}
 	s := &SATState{
-		dims:    append([]int(nil), dims...),
-		strides: make([]int, len(dims)),
-		t:       make([]float64, k),
-		scratch: make([]int, len(dims)),
+		dims:      append([]int(nil), dims...),
+		strides:   make([]int, len(dims)),
+		t:         make([]float64, k),
+		scratch:   make([]int, len(dims)),
+		blockRows: blockRows,
+		pool:      pool,
 	}
 	stride := 1
 	for d := len(dims) - 1; d >= 0; d-- {
@@ -57,26 +90,70 @@ func NewSATState(dims []int, x []float64) (*SATState, error) {
 }
 
 // Table exposes the maintained table for corner reads (workload.EvalRangeKd
-// layout). Callers must not modify it.
+// layout when unblocked; per-slab tables at their row-major offsets when
+// blocked). Callers must not modify it.
 func (s *SATState) Table() []float64 { return s.t }
 
-// Recompute rebuilds the table densely from x: the same
-// running-prefix-per-dimension pass as workload.SummedAreaTable, bitwise.
+// BlockRows returns the slab height along the leading dimension; it equals
+// dims[0] for an unblocked state.
+func (s *SATState) BlockRows() int { return s.blockRows }
+
+// NumSlabs returns the number of leading-dimension slabs (1 when unblocked).
+func (s *SATState) NumSlabs() int {
+	return (s.dims[0] + s.blockRows - 1) / s.blockRows
+}
+
+// SlabRange returns the leading-dimension row range [lo, hi) of slab i.
+func (s *SATState) SlabRange(i int) (lo, hi int) {
+	lo = i * s.blockRows
+	hi = lo + s.blockRows
+	if hi > s.dims[0] {
+		hi = s.dims[0]
+	}
+	return lo, hi
+}
+
+// Recompute rebuilds every slab table densely from x: per slab, the same
+// running-prefix-per-dimension pass as workload.SummedAreaTable over the
+// slab's sub-grid, bitwise. Slabs rebuild in parallel over the pool; each
+// slab is written by exactly one worker, so the table is bitwise
+// independent of worker count. For an unblocked state this is exactly the
+// global workload.SummedAreaTable pass.
 func (s *SATState) Recompute(x []float64) {
-	t := s.t
-	copy(t, x)
+	copy(s.t, x)
+	n := s.NumSlabs()
+	if n == 1 {
+		s.recomputeSlab(0)
+		return
+	}
+	s.pool.Do(par.Workers(0), n, func(i int) { s.recomputeSlab(i) })
+}
+
+// recomputeSlab runs the per-dimension running-prefix pass over slab i's
+// sub-grid (slab rows × trailing dims), assuming s.t already holds the raw
+// histogram values there.
+func (s *SATState) recomputeSlab(i int) {
+	lo, hi := s.SlabRange(i)
+	inner := s.strides[0]
+	t := s.t[lo*inner : hi*inner]
 	stride := 1
-	for dim := len(s.dims) - 1; dim >= 0; dim-- {
+	for dim := len(s.dims) - 1; dim >= 1; dim-- {
 		size := s.dims[dim]
 		block := stride * size
 		for base := 0; base < len(t); base += block {
 			for off := 0; off < stride; off++ {
-				for i := 1; i < size; i++ {
-					t[base+off+i*stride] += t[base+off+(i-1)*stride]
+				for j := 1; j < size; j++ {
+					t[base+off+j*stride] += t[base+off+(j-1)*stride]
 				}
 			}
 		}
 		stride = block
+	}
+	rows := hi - lo
+	for off := 0; off < inner; off++ {
+		for j := 1; j < rows; j++ {
+			t[off+j*inner] += t[off+(j-1)*inner]
+		}
 	}
 }
 
@@ -91,22 +168,27 @@ func (s *SATState) coords(cell int) []int {
 }
 
 // PointAddCost returns the number of table entries PointAdd(cell, ·) would
-// touch: the volume of the suffix box from cell's coordinates.
+// touch: the volume of the suffix box from cell's coordinates, truncated at
+// the owning slab's boundary when blocked — so the patch cost is capped at
+// the slab volume regardless of where the update lands.
 func (s *SATState) PointAddCost(cell int) int {
 	c := s.coords(cell)
-	cost := 1
-	for d, v := range c {
-		cost *= s.dims[d] - v
+	_, hi0 := s.SlabRange(c[0] / s.blockRows)
+	cost := hi0 - c[0]
+	for d := 1; d < len(c); d++ {
+		cost *= s.dims[d] - c[d]
 	}
 	return cost
 }
 
 // PointAdd folds a single-cell delta into the table: every prefix sum whose
-// box contains the cell — the suffix box at coordinates >= the cell's —
-// shifts by delta.
+// box contains the cell — the suffix box at coordinates >= the cell's,
+// within the owning slab — shifts by delta. Slabs other than the owner are
+// untouched, since their tables do not cover the cell.
 func (s *SATState) PointAdd(cell int, delta float64) {
 	lo := append([]int(nil), s.coords(cell)...)
 	cur := append([]int(nil), lo...)
+	_, hi0 := s.SlabRange(lo[0] / s.blockRows)
 	d := len(s.dims)
 	for {
 		idx := 0
@@ -114,11 +196,15 @@ func (s *SATState) PointAdd(cell int, delta float64) {
 			idx += v * s.strides[i]
 		}
 		s.t[idx] += delta
-		// Odometer over the suffix box.
+		// Odometer over the suffix box (dim 0 bounded by the slab).
 		i := d - 1
 		for ; i >= 0; i-- {
 			cur[i]++
-			if cur[i] < s.dims[i] {
+			bound := s.dims[i]
+			if i == 0 {
+				bound = hi0
+			}
+			if cur[i] < bound {
 				break
 			}
 			cur[i] = lo[i]

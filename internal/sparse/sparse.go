@@ -1,12 +1,33 @@
-// Package sparse provides the compressed sparse row (CSR) matrix and the
-// Operator abstraction behind the answer hot path. The strategy matrices of
-// the transformational equivalence — P_G for policy graphs, per-query
-// reconstruction rows, workload transforms over tree/grid policies — carry
-// O(1) to O(log k) nonzeros per row, so applying them as dense row-major
-// products wastes O(k) work per row. The kernels here run in O(nnz),
-// partition by output rows over the shared internal/par pool, and keep the
-// per-entry accumulation order of their dense counterparts so results agree
-// bitwise wherever the dense path performs the same float operations.
+// Package sparse provides the linear-operator layer behind the answer hot
+// path: CSR matrices, the Operator abstraction, domain sharding, and the
+// incremental summed-area state used by streams.
+//
+// The strategy matrices of the transformational equivalence — P_G for policy
+// graphs, per-query reconstruction rows, workload transforms over tree/grid
+// policies — carry O(1) to O(log k) nonzeros per row, so applying them as
+// dense row-major products wastes O(k) work per row. The CSR kernels here
+// run in O(nnz), partition by output rows over the shared internal/par pool,
+// and keep the per-entry accumulation order of their dense counterparts so
+// results agree bitwise wherever the dense path performs the same float
+// operations. Operators that know a closed form (subtree sums, summed-area
+// tables, Lanczos matvec sources in spectral.go) implement Operator directly
+// and never materialize a matrix.
+//
+// Three pieces serve domains past ~10⁶ cells:
+//
+//   - ShardBlocks/ConcatRows partition a domain (or a query list) into
+//     contiguous blocks and reassemble per-block CSR shards into one
+//     byte-identical matrix, which is how strategy compiles fan per-block
+//     work items out over the pool.
+//   - BlockedOperator composes per-block column-range sub-operators into one
+//     domain-wide Operator: Apply evaluates block partials in parallel and
+//     reduces them serially in ascending block order, so outputs are bitwise
+//     independent of the worker count (and of GOMAXPROCS). DefaultShardCells
+//     is the auto-shard threshold the compile layer consults.
+//   - SATState maintains summed-area/prefix tables incrementally for
+//     streams; NewSATStateBlocked keeps one table per row-slab so a point
+//     delta patches at most one slab (o(k)) instead of a full suffix box,
+//     with a cost-capped dense recompute fallback per slab.
 package sparse
 
 import (

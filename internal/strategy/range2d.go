@@ -69,7 +69,7 @@ func (s *grid2DStrategy) queryNoise(r1, r2, c1, c2 int) float64 {
 // oracles of the given kind (PriveletKind reproduces the paper's strategy
 // and its O(d·log^{3(d−1)}k/ε²) bound; CellKind and HierKind serve as
 // ablations).
-func GridPolicyRange2D(dims []int, kind mech.OracleKind) Algorithm {
+func GridPolicyRange2D(dims []int, kind mech.OracleKind, cfg Config) Algorithm {
 	name := "Transformed + Privelet"
 	switch kind {
 	case mech.CellKind:
@@ -78,15 +78,17 @@ func GridPolicyRange2D(dims []int, kind mech.OracleKind) Algorithm {
 		name = "Transformed + Hierarchical"
 	}
 	return compiled(name, func(w *workload.Workload) (*Prepared, error) {
-		return CompileGridRange2D(name, dims, kind, w)
+		return CompileGridRange2D(name, dims, kind, w, cfg)
 	})
 }
 
 // CompileGridRange2D compiles the Theorem 5.4 strategy (d = 2) for one
 // workload: query rectangles are validated and unpacked once. The hot path
 // draws the per-line oracles (the only per-release randomness), builds the
-// summed-area table, and reads off the ≤4 boundary runs per query.
-func CompileGridRange2D(name string, dims []int, kind mech.OracleKind, w *workload.Workload) (*Prepared, error) {
+// summed-area table, and reads off the ≤4 boundary runs per query. Past the
+// cfg sharding threshold the truth side is emitted as a blocked operator
+// over dim-0 slabs (see shard.go); the oracle pass is unaffected.
+func CompileGridRange2D(name string, dims []int, kind mech.OracleKind, w *workload.Workload, cfg Config) (*Prepared, error) {
 	if len(dims) != 2 {
 		return nil, fmt.Errorf("strategy: GridPolicyRange2D wants a 2-D grid, got dims %v", dims)
 	}
@@ -103,7 +105,10 @@ func CompileGridRange2D(name string, dims []int, kind mech.OracleKind, w *worklo
 		rects[i] = rq
 	}
 	compilations.Add(1)
-	truth := &rangeKdOp{dims: dims, k: w.K, rects: rects}
+	truth, evalFn, blockRows, err := gridTruth(dims, rects, cfg)
+	if err != nil {
+		return nil, err
+	}
 	// noiseInto is the per-release oracle pass, shared by the static answer
 	// and the streaming state so the two paths cannot drift. The oracles are
 	// the only randomness; they draw the same Source values whether the truth
@@ -123,6 +128,6 @@ func CompileGridRange2D(name string, dims []int, kind mech.OracleKind, w *worklo
 		noiseInto(out, eps, src)
 		return out, nil
 	}
-	refresh := satRefresh(name, w, dims, evalRects(dims, rects), noiseInto)
+	refresh := satRefresh(name, w, dims, blockRows, cfg.Pool, evalFn, noiseInto)
 	return &Prepared{Name: name, answer: answer, op: truth, refresh: refresh}, nil
 }

@@ -194,18 +194,20 @@ type thetaQueryPlan struct {
 
 // ThetaGridRange2D returns the Theorem 5.6 algorithm for 2-D range queries
 // under G^θ_{k²}.
-func ThetaGridRange2D(dims []int, theta int) Algorithm {
+func ThetaGridRange2D(dims []int, theta int, cfg Config) Algorithm {
 	name := fmt.Sprintf("Transformed + Privelet (theta=%d)", theta)
 	return compiled(name, func(w *workload.Workload) (*Prepared, error) {
-		return CompileThetaGridRange2D(name, dims, theta, w)
+		return CompileThetaGridRange2D(name, dims, theta, w, cfg)
 	})
 }
 
 // CompileThetaGridRange2D compiles the Theorem 5.6 strategy for one
 // workload: the spanner geometry and every query's lattice interval and
 // piece decomposition are computed once; the hot path draws the oracles,
-// builds the summed-area table and assembles the precompiled terms.
-func CompileThetaGridRange2D(name string, dims []int, theta int, w *workload.Workload) (*Prepared, error) {
+// builds the summed-area table and assembles the precompiled terms. Past
+// the cfg sharding threshold the truth side shards into dim-0 slabs (see
+// shard.go); the spanner oracle pass is unaffected.
+func CompileThetaGridRange2D(name string, dims []int, theta int, w *workload.Workload, cfg Config) (*Prepared, error) {
 	if len(dims) != 2 {
 		return nil, fmt.Errorf("strategy: ThetaGridRange2D wants 2-D dims, got %v", dims)
 	}
@@ -237,7 +239,10 @@ func CompileThetaGridRange2D(name string, dims []int, theta int, w *workload.Wor
 	for i := range plans {
 		rects[i] = plans[i].rq
 	}
-	truth := &rangeKdOp{dims: dims, k: w.K, rects: rects}
+	truth, evalFn, blockRows, err := gridTruth(dims, rects, cfg)
+	if err != nil {
+		return nil, err
+	}
 	// noiseInto is the per-release oracle pass shared by the static answer
 	// and the streaming state (see range2d.go).
 	noiseInto := func(out []float64, eps float64, src *noise.Source) {
@@ -263,7 +268,7 @@ func CompileThetaGridRange2D(name string, dims []int, theta int, w *workload.Wor
 		noiseInto(out, eps, src)
 		return out, nil
 	}
-	refresh := satRefresh(name, w, dims, evalRects(dims, rects), noiseInto)
+	refresh := satRefresh(name, w, dims, blockRows, cfg.Pool, evalFn, noiseInto)
 	return &Prepared{Name: name, answer: answer, op: truth, refresh: refresh}, nil
 }
 

@@ -119,17 +119,18 @@ func (s *gridKdStrategy) queryVariance(lo, hi []int) float64 {
 
 // GridPolicyRangeKd returns the Theorem 5.4 algorithm for d-dimensional
 // range queries under G¹_{k^d}, for any d ≥ 1.
-func GridPolicyRangeKd(dims []int) Algorithm {
+func GridPolicyRangeKd(dims []int, cfg Config) Algorithm {
 	name := fmt.Sprintf("Transformed + Privelet (d=%d)", len(dims))
 	return compiled(name, func(w *workload.Workload) (*Prepared, error) {
-		return CompileGridRangeKd(name, dims, w)
+		return CompileGridRangeKd(name, dims, w, cfg)
 	})
 }
 
 // CompileGridRangeKd compiles the general-dimension Theorem 5.4 strategy
 // for one workload; the hot path draws the per-sheet oracles, builds the
-// summed-area table and reads the 2d boundary faces per query.
-func CompileGridRangeKd(name string, dims []int, w *workload.Workload) (*Prepared, error) {
+// summed-area table and reads the 2d boundary faces per query. Past the cfg
+// sharding threshold the truth side shards into dim-0 slabs (see shard.go).
+func CompileGridRangeKd(name string, dims []int, w *workload.Workload, cfg Config) (*Prepared, error) {
 	k := 1
 	for _, v := range dims {
 		if v < 2 {
@@ -149,7 +150,10 @@ func CompileGridRangeKd(name string, dims []int, w *workload.Workload) (*Prepare
 		rects[i] = rq
 	}
 	compilations.Add(1)
-	truth := &rangeKdOp{dims: dims, k: w.K, rects: rects}
+	truth, evalFn, blockRows, err := gridTruth(dims, rects, cfg)
+	if err != nil {
+		return nil, err
+	}
 	// noiseInto is the per-release oracle pass shared by the static answer
 	// and the streaming state (see range2d.go).
 	noiseInto := func(out []float64, eps float64, src *noise.Source) {
@@ -167,7 +171,7 @@ func CompileGridRangeKd(name string, dims []int, w *workload.Workload) (*Prepare
 		noiseInto(out, eps, src)
 		return out, nil
 	}
-	refresh := satRefresh(name, w, dims, evalRects(dims, rects), noiseInto)
+	refresh := satRefresh(name, w, dims, blockRows, cfg.Pool, evalFn, noiseInto)
 	return &Prepared{Name: name, answer: answer, op: truth, refresh: refresh}, nil
 }
 

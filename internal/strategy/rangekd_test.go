@@ -18,14 +18,14 @@ func TestGridPolicyRangeKdExact2D(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	dims := []int{6, 7}
 	x := randomX(rng, 42)
-	exactness(t, GridPolicyRangeKd(dims), workload.AllRangesKd(dims), x)
+	exactness(t, GridPolicyRangeKd(dims, Config{}), workload.AllRangesKd(dims), x)
 }
 
 func TestGridPolicyRangeKdExact3D(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	dims := []int{4, 3, 5}
 	x := randomX(rng, 60)
-	exactness(t, GridPolicyRangeKd(dims), workload.AllRangesKd(dims), x)
+	exactness(t, GridPolicyRangeKd(dims, Config{}), workload.AllRangesKd(dims), x)
 }
 
 func TestGridPolicyRangeKdExact1D(t *testing.T) {
@@ -34,7 +34,7 @@ func TestGridPolicyRangeKdExact1D(t *testing.T) {
 	dims := []int{16}
 	x := randomX(rng, 16)
 	w := workload.AllRangesKd(dims)
-	exactness(t, GridPolicyRangeKd(dims), w, x)
+	exactness(t, GridPolicyRangeKd(dims, Config{}), w, x)
 }
 
 func TestGridPolicyRangeKdVarianceMatchesEmpirical(t *testing.T) {
@@ -68,22 +68,22 @@ func TestGridPolicyRangeKdMatches2DSpecialization(t *testing.T) {
 	dims := []int{16, 16}
 	x := make([]float64, 256)
 	w := workload.RandomRangesKd(dims, 300, noise.NewSource(5))
-	a := measureMSE(t, GridPolicyRangeKd(dims), w, x, 0.5, 30, 6)
-	b := measureMSE(t, GridPolicyRange2D(dims, mech.PriveletKind), w, x, 0.5, 30, 7)
+	a := measureMSE(t, GridPolicyRangeKd(dims, Config{}), w, x, 0.5, 30, 6)
+	b := measureMSE(t, GridPolicyRange2D(dims, mech.PriveletKind, Config{}), w, x, 0.5, 30, 7)
 	if a > 2*b || b > 2*a {
 		t.Fatalf("general-d %g vs 2-D specialization %g differ too much", a, b)
 	}
 }
 
 func TestGridPolicyRangeKdRejectsBadInput(t *testing.T) {
-	alg := GridPolicyRangeKd([]int{4, 4})
+	alg := GridPolicyRangeKd([]int{4, 4}, Config{})
 	if _, err := alg.Run(workload.Identity(16), make([]float64, 16), 1, noise.NewSource(1)); err == nil {
 		t.Fatal("non-range workload accepted")
 	}
 	if _, err := alg.Run(workload.AllRangesKd([]int{4, 4}), make([]float64, 15), 1, noise.NewSource(1)); err == nil {
 		t.Fatal("domain mismatch accepted")
 	}
-	alg1 := GridPolicyRangeKd([]int{1, 4})
+	alg1 := GridPolicyRangeKd([]int{1, 4}, Config{})
 	if _, err := alg1.Run(workload.AllRangesKd([]int{1, 4}), make([]float64, 4), 1, noise.NewSource(1)); err == nil {
 		t.Fatal("dimension of size 1 accepted")
 	}
@@ -102,7 +102,7 @@ func TestMarginalsViaGridStrategy(t *testing.T) {
 	if m.Len() != 15 {
 		t.Fatalf("marginal cells = %d, want 15", m.Len())
 	}
-	exactness(t, GridPolicyRangeKd(dims), m, x)
+	exactness(t, GridPolicyRangeKd(dims, Config{}), m, x)
 }
 
 func TestOptimizeDensePicksGoodStrategy(t *testing.T) {
@@ -165,7 +165,7 @@ func TestGaussianEstimatorOnTreePolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alg := TreePolicy("gauss", tr, 1, GaussianEstimator(1e-5))
+	alg := TreePolicy("gauss", tr, 1, GaussianEstimator(1e-5), Config{})
 	x := make([]float64, k)
 	w := workload.Identity(k)
 	// Each histogram cell is the difference of two x_G coordinates:

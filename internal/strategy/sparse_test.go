@@ -55,11 +55,11 @@ func TestTreeSparseVsDenseEquivalence(t *testing.T) {
 	tr := lineTransform(t, k)
 	w := workload.RandomRanges1D(k, 300, noise.NewSource(99))
 	x := rampHistogram(k)
-	sp, err := CompileTree("tree", tr, 1, LaplaceEstimator, w)
+	sp, err := CompileTree("tree", tr, 1, LaplaceEstimator, w, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dn, err := CompileTreeDense("tree", tr, 1, LaplaceEstimator, w)
+	dn, err := CompileTreeDense("tree", tr, 1, LaplaceEstimator, w, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +98,11 @@ func TestThetaSpannerSparseVsDenseEquivalence(t *testing.T) {
 	}
 	w := workload.RandomRanges1D(k, 200, noise.NewSource(98))
 	x := rampHistogram(k)
-	a, err := CompileTree("theta", tr, sp.Stretch, LaplaceEstimator, w)
+	a, err := CompileTree("theta", tr, sp.Stretch, LaplaceEstimator, w, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CompileTreeDense("theta", tr, sp.Stretch, LaplaceEstimator, w)
+	b, err := CompileTreeDense("theta", tr, sp.Stretch, LaplaceEstimator, w, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestSmallDomainAutoPickGoesDense(t *testing.T) {
 	// edge columns, so the density rule must keep the dense representation.
 	tr := lineTransform(t, 8)
 	w := workload.Identity(8)
-	prep, err := CompileTree("tree", tr, 1, LaplaceEstimator, w)
+	prep, err := CompileTree("tree", tr, 1, LaplaceEstimator, w, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,9 +138,9 @@ func TestGridCompilesExposeStructuredOperator(t *testing.T) {
 	src := noise.NewSource(3)
 	w := workload.RandomRangesKd(dims, 40, src)
 	for _, build := range []func() (*Prepared, error){
-		func() (*Prepared, error) { return CompileGridRange2D("g2", dims, mech.PriveletKind, w) },
-		func() (*Prepared, error) { return CompileGridRangeKd("gkd", dims, w) },
-		func() (*Prepared, error) { return CompileThetaGridRange2D("gt", dims, 2, w) },
+		func() (*Prepared, error) { return CompileGridRange2D("g2", dims, mech.PriveletKind, w, Config{}) },
+		func() (*Prepared, error) { return CompileGridRangeKd("gkd", dims, w, Config{}) },
+		func() (*Prepared, error) { return CompileThetaGridRange2D("gt", dims, 2, w, Config{}) },
 	} {
 		prep, err := build()
 		if err != nil {
@@ -174,7 +174,7 @@ func TestConcurrentAnswerSharedPlan(t *testing.T) {
 	tr := lineTransform(t, k)
 	w := workload.RandomRanges1D(k, 150, noise.NewSource(97))
 	x := rampHistogram(k)
-	prep, err := CompileTree("tree", tr, 1, LaplaceEstimator, w)
+	prep, err := CompileTree("tree", tr, 1, LaplaceEstimator, w, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,26 @@
 // policies (the grid G¹_{k²}, G^θ_{k^d}) go through matrix-mechanism-style
 // strategies (Theorem 4.1): noisy interval answers over the edge domain with
 // noise calibrated to per-edge participation, reconstructed per query.
+//
+// Every strategy is split into a compile step and a run step. Compile
+// (CompileGridRange2D/Kd, CompileThetaGridRange2D, the tree transform build
+// in compileTree) does all workload-dependent work — strategy selection,
+// sensitivity calibration, reconstruction operators — and returns a Prepared
+// whose Answer is the noise-and-reconstruct hot path. Config carries the
+// compile-time knobs: MaxBlockCells shards the compile and the resulting
+// reconstruction along contiguous domain blocks (queries blocks for tree
+// policies) over the shared par.Pool, emitting sparse.BlockedOperator
+// reconstructions whose fixed-order block reduce keeps sharded output within
+// 1e-9 of the monolithic compile (bitwise on integer histograms); 0 shards
+// automatically past sparse.DefaultShardCells, < 0 disables. The noise pass
+// is never sharded — draws stay serial from one noise.Source, so sharded
+// and unsharded releases consume identical noise streams.
+//
+// stream.go is the incremental side: a compiled strategy exposes refresh
+// hooks that fold Delta batches into maintained state (root-path patches on
+// tree transforms, slab-capped summed-area patches via sparse.SATState)
+// with a cost-capped dense rebuild fallback, which is what Engine.OpenStream
+// builds on.
 package strategy
 
 import (
@@ -14,6 +34,7 @@ import (
 	"github.com/privacylab/blowfish/internal/core"
 	"github.com/privacylab/blowfish/internal/mech"
 	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/policy"
 	"github.com/privacylab/blowfish/internal/sparse"
 	"github.com/privacylab/blowfish/internal/workload"
@@ -70,9 +91,9 @@ func DawaConsistentEstimator(xg []float64, eps float64, src *noise.Source) []flo
 // given DP estimator at budget eps/stretch (Lemma 4.5 accounting; stretch is
 // 1 when the tree is the policy itself), and evaluate each transformed query
 // against the estimate plus the Lemma 4.10 constant correction.
-func TreePolicy(name string, tr *core.Transform, stretch int, est Estimator) Algorithm {
+func TreePolicy(name string, tr *core.Transform, stretch int, est Estimator, cfg Config) Algorithm {
 	return compiled(name, func(w *workload.Workload) (*Prepared, error) {
-		return CompileTree(name, tr, stretch, est, w)
+		return CompileTree(name, tr, stretch, est, w, cfg)
 	})
 }
 
@@ -83,9 +104,11 @@ func TreePolicy(name string, tr *core.Transform, stretch int, est Estimator) Alg
 // row per query, one column per edge, entries in support-discovery order so
 // the float accumulation matches the per-call path bitwise) is kept as CSR
 // when its density is below sparse.DefaultMaxDensity and materialized dense
-// otherwise.
-func CompileTree(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload) (*Prepared, error) {
-	return compileTree(name, tr, stretch, est, w, func(c *sparse.CSR) sparse.Operator {
+// otherwise. Past the cfg sharding threshold the rows are built as
+// per-query-block compile work items on the pool and concatenated — a
+// byte-identical CSR, so answers never depend on the block size.
+func CompileTree(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload, cfg Config) (*Prepared, error) {
+	return compileTree(name, tr, stretch, est, w, cfg, func(c *sparse.CSR) sparse.Operator {
 		if c.Density() < sparse.DefaultMaxDensity {
 			return c
 		}
@@ -96,13 +119,13 @@ func CompileTree(name string, tr *core.Transform, stretch int, est Estimator, w 
 // CompileTreeDense compiles the same strategy but forces the dense
 // reconstruction operator — the pre-sparse hot path, kept as the comparison
 // baseline for the sparse-vs-dense equivalence suite and benchmarks.
-func CompileTreeDense(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload) (*Prepared, error) {
-	return compileTree(name, tr, stretch, est, w, func(c *sparse.CSR) sparse.Operator {
+func CompileTreeDense(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload, cfg Config) (*Prepared, error) {
+	return compileTree(name, tr, stretch, est, w, cfg, func(c *sparse.CSR) sparse.Operator {
 		return sparse.Dense{M: c.ToDense()}
 	})
 }
 
-func compileTree(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload, pick func(*sparse.CSR) sparse.Operator) (*Prepared, error) {
+func compileTree(name string, tr *core.Transform, stretch int, est Estimator, w *workload.Workload, cfg Config, pick func(*sparse.CSR) sparse.Operator) (*Prepared, error) {
 	if !tr.IsTree() {
 		return nil, fmt.Errorf("strategy: %s: policy %q is not a tree", name, tr.Policy.Name)
 	}
@@ -110,7 +133,6 @@ func compileTree(name string, tr *core.Transform, stretch int, est Estimator, w 
 		return nil, fmt.Errorf("strategy: %s: workload domain %d != policy domain %d", name, w.K, tr.Policy.K)
 	}
 	compilations.Add(1)
-	sup := newSupportIndex(tr)
 	edges := tr.Policy.G.Edges
 	// aliasCoeffs[i]·n is query i's Lemma 4.10 constant correction; nil for
 	// Case I policies, which need none.
@@ -118,18 +140,42 @@ func compileTree(name string, tr *core.Transform, stretch int, est Estimator, w 
 	if tr.Alias >= 0 {
 		aliasCoeffs = make([]float64, w.Len())
 	}
-	rb := sparse.NewBuilder(w.Len(), len(edges))
-	for i, q := range w.Queries {
-		if aliasCoeffs != nil {
-			aliasCoeffs[i] = q.Coeff(tr.Alias)
-		}
-		for _, j := range sup.edges(q) {
-			if c := tr.QueryCoeffOnEdge(q, edges[j]); c != 0 {
-				rb.Add(i, j, c)
+	// buildRows fills one contiguous query block's reconstruction rows and
+	// alias coefficients. Support discovery is deterministic per query, so
+	// per-block builds visit exactly the entries the serial build would; each
+	// block clones the shared index so discovery scratch is never contended.
+	baseSup := newSupportIndex(tr)
+	buildRows := func(b par.Block) *sparse.CSR {
+		sup := baseSup.clone()
+		rb := sparse.NewBuilder(b.Hi-b.Lo, len(edges))
+		for i := b.Lo; i < b.Hi; i++ {
+			q := w.Queries[i]
+			if aliasCoeffs != nil {
+				aliasCoeffs[i] = q.Coeff(tr.Alias)
+			}
+			for _, j := range sup.edges(q) {
+				if c := tr.QueryCoeffOnEdge(q, edges[j]); c != 0 {
+					rb.Add(i-b.Lo, j, c)
+				}
 			}
 		}
+		return rb.Build()
 	}
-	recon := pick(rb.Build())
+	var csr *sparse.CSR
+	if blockQueries := cfg.blockCells(w.Len()); blockQueries > 0 && w.Len() > blockQueries {
+		blocks := sparse.ShardBlocks(w.Len(), 1, blockQueries)
+		parts := make([]*sparse.CSR, len(blocks))
+		cfg.pool().Do(par.Workers(0), len(blocks), func(i int) {
+			parts[i] = buildRows(blocks[i])
+		})
+		var err error
+		if csr, err = sparse.ConcatRows(parts); err != nil {
+			return nil, fmt.Errorf("strategy: %s: %w", name, err)
+		}
+	} else {
+		csr = buildRows(par.Block{Lo: 0, Hi: w.Len()})
+	}
+	recon := pick(csr)
 	queries := w.Len()
 	refresh := func(x []float64) (*State, error) {
 		if err := checkDomain(w, x); err != nil {
@@ -205,6 +251,22 @@ func newSupportIndex(tr *core.Transform) *supportIndex {
 	return s
 }
 
+// clone returns an independent discovery cursor over the same immutable
+// index: the incident lists are shared read-only, while the stamp/scratch
+// state each concurrent per-block compile mutates is private. Cloning is
+// O(|E|) (one stamp fill) against the O(|V|+|E|) adjacency build, which is
+// what keeps the sharded tree compile's per-block overhead small.
+func (s *supportIndex) clone() *supportIndex {
+	c := &supportIndex{tr: s.tr, all: s.all, incident: s.incident, theta: s.theta}
+	if s.stamp != nil {
+		c.stamp = make([]int, len(s.stamp))
+		for i := range c.stamp {
+			c.stamp[i] = -1
+		}
+	}
+	return c
+}
+
 // edges returns candidate edge indices for q (a superset of the support).
 func (s *supportIndex) edges(q workload.Query) []int {
 	if s.incident == nil {
@@ -271,9 +333,9 @@ func LinePolicyAlgorithms(k int) ([]Algorithm, error) {
 		return nil, err
 	}
 	return []Algorithm{
-		TreePolicy("Transformed + Laplace", tr, 1, LaplaceEstimator),
-		TreePolicy("Transformed + ConsistentEst", tr, 1, ConsistentLaplaceEstimator),
-		TreePolicy("Trans + Dawa + Cons", tr, 1, DawaConsistentEstimator),
+		TreePolicy("Transformed + Laplace", tr, 1, LaplaceEstimator, Config{}),
+		TreePolicy("Transformed + ConsistentEst", tr, 1, ConsistentLaplaceEstimator, Config{}),
+		TreePolicy("Trans + Dawa + Cons", tr, 1, DawaConsistentEstimator, Config{}),
 	}, nil
 }
 
@@ -291,8 +353,8 @@ func ThetaLineAlgorithms(k, theta int) ([]Algorithm, error) {
 		return nil, err
 	}
 	return []Algorithm{
-		TreePolicy("Transformed + Laplace", tr, sp.Stretch, LaplaceEstimator),
-		TreePolicy("Trans + Dawa", tr, sp.Stretch, DawaEstimator),
+		TreePolicy("Transformed + Laplace", tr, sp.Stretch, LaplaceEstimator, Config{}),
+		TreePolicy("Trans + Dawa", tr, sp.Stretch, DawaEstimator, Config{}),
 	}, nil
 }
 

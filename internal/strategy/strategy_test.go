@@ -83,7 +83,7 @@ func TestGridPolicyRange2DExact(t *testing.T) {
 	x := randomX(rng, 42)
 	w := workload.AllRangesKd(dims)
 	for _, kind := range []mech.OracleKind{mech.CellKind, mech.HierKind, mech.PriveletKind} {
-		exactness(t, GridPolicyRange2D(dims, kind), w, x)
+		exactness(t, GridPolicyRange2D(dims, kind, Config{}), w, x)
 	}
 }
 
@@ -100,7 +100,7 @@ func TestThetaGridRange2DExact(t *testing.T) {
 	} {
 		x := randomX(rng, tc.dims[0]*tc.dims[1])
 		w := workload.AllRangesKd(tc.dims)
-		exactness(t, ThetaGridRange2D(tc.dims, tc.theta), w, x)
+		exactness(t, ThetaGridRange2D(tc.dims, tc.theta, Config{}), w, x)
 	}
 }
 
@@ -163,7 +163,7 @@ func TestTreePolicyRejectsNonTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alg := TreePolicy("bad", tr, 1, LaplaceEstimator)
+	alg := TreePolicy("bad", tr, 1, LaplaceEstimator, Config{})
 	if _, err := alg.Run(workload.Identity(9), make([]float64, 9), 1, noise.NewSource(1)); err == nil {
 		t.Fatal("non-tree policy accepted by TreePolicy")
 	}
@@ -174,7 +174,7 @@ func TestTreePolicyDomainMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alg := TreePolicy("line", tr, 1, LaplaceEstimator)
+	alg := TreePolicy("line", tr, 1, LaplaceEstimator, Config{})
 	if _, err := alg.Run(workload.Identity(9), make([]float64, 8), 1, noise.NewSource(1)); err == nil {
 		t.Fatal("domain mismatch accepted")
 	}
@@ -278,7 +278,7 @@ func TestGrid2DBlowfishBeatsPrivelet(t *testing.T) {
 	eps := 0.5
 	x := make([]float64, 1024)
 	w := workload.RandomRangesKd(dims, 300, noise.NewSource(14))
-	blow := measureMSE(t, GridPolicyRange2D(dims, mech.PriveletKind), w, x, eps, 10, 15)
+	blow := measureMSE(t, GridPolicyRange2D(dims, mech.PriveletKind, Config{}), w, x, eps, 10, 15)
 	priv := measureMSE(t, DPPriveletRangeKd(dims), w, x, eps, 10, 16)
 	if blow >= priv {
 		t.Fatalf("grid Blowfish %g not below 2-D Privelet %g", blow, priv)

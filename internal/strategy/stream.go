@@ -5,6 +5,7 @@ import (
 
 	"github.com/privacylab/blowfish/internal/core"
 	"github.com/privacylab/blowfish/internal/noise"
+	"github.com/privacylab/blowfish/internal/par"
 	"github.com/privacylab/blowfish/internal/sparse"
 	"github.com/privacylab/blowfish/internal/workload"
 )
@@ -195,15 +196,19 @@ func (g *satState) answer(eps float64, src *noise.Source) ([]float64, error) {
 // satRefresh builds the Refresh hook shared by every summed-area-backed
 // strategy (the 2-D/k-D grids, the θ-grid, and — with dims = {k} — the 1-D
 // prefix-sum strategies, whose table accumulation is bitwise identical to
-// workload.PrefixSums).
-func satRefresh(name string, w *workload.Workload, dims []int,
+// workload.PrefixSums). blockRows > 0 selects the blocked per-slab table
+// layout matching a sharded compile (see shard.go): the eval closure must
+// then read slab tables, and PointAdd patches stop at slab boundaries so
+// Stream.Apply stays o(k) per delta. blockRows = 0 is the classic global
+// table.
+func satRefresh(name string, w *workload.Workload, dims []int, blockRows int, pool *par.Pool,
 	eval func(table []float64) []float64,
 	noiseInto func(out []float64, eps float64, src *noise.Source)) func(x []float64) (*State, error) {
 	return func(x []float64) (*State, error) {
 		if err := checkDomain(w, x); err != nil {
 			return nil, err
 		}
-		sat, err := sparse.NewSATState(dims, x)
+		sat, err := sparse.NewSATStateBlocked(dims, x, blockRows, pool)
 		if err != nil {
 			return nil, err
 		}

@@ -181,8 +181,10 @@ func CompileThetaLineGrouped(name string, k, theta int, kind mech.OracleKind, w 
 		return out, nil
 	}
 	// The 1-D prefix table is the dims = {k} summed-area table: the same
-	// left-to-right accumulation as workload.PrefixSums, bitwise.
-	refresh := satRefresh(name, w, []int{w.K}, evalRanges(ranges), noiseInto)
+	// left-to-right accumulation as workload.PrefixSums, bitwise. This
+	// strategy stays unsharded — θ-line domains route through the tree
+	// compile past the sharding threshold (see engine dispatch).
+	refresh := satRefresh(name, w, []int{w.K}, 0, nil, evalRanges(ranges), noiseInto)
 	return &Prepared{Name: name, answer: answer, op: truth, refresh: refresh}, nil
 }
 
