@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_eval.json
 
-.PHONY: all build test bench fuzz gate lint docs clean
+.PHONY: all build test bench fuzz gate lint docs crash clean
 
 all: lint build test
 
@@ -24,12 +24,20 @@ bench:
 	$(GO) run ./cmd/blowfishbench -exp stream -full -json BENCH_stream.json
 	$(GO) run ./cmd/blowfishbench -exp shard -full -json BENCH_shard.json
 
-# Wire-format fuzzers for the daemon's JSON surface. CI runs a short smoke;
-# crank FUZZTIME locally to dig.
+# Wire-format fuzzers for the daemon's JSON surface plus the durable
+# snapshot/WAL decoders (typed errors, never a panic, on arbitrary bytes).
+# CI runs a short smoke; crank FUZZTIME locally to dig.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzAnswerWire' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzUpdateWire' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzSnapshotLoad' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime $(FUZZTIME)
+
+# Kill -9 / restart smoke against a real daemon process: ledgers and stream
+# state must survive a hard kill (WAL replay) and a SIGTERM (final snapshot).
+crash:
+	./scripts/crash_smoke.sh
 
 # Regression gate: regenerate the benchmark reports at the same scale as the
 # checked-in baselines, then compare the machine-portable ratio columns.

@@ -9,8 +9,8 @@ import (
 // Budget is a cumulative (ε, δ) privacy allowance. The zero value means
 // unlimited: the Accountant then only tracks spend without enforcing a cap.
 type Budget struct {
-	Epsilon float64
-	Delta   float64
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
 }
 
 // unlimited reports whether the budget enforces nothing.
@@ -121,10 +121,10 @@ func (a *Accountant) Charge(per Budget, releases int) error {
 // enter at most one node per level, so per-record spend after N epochs is
 // the closed form (1 + floor(log2 N)) · (Epsilon/L) ≤ Epsilon.
 type BudgetContinual struct {
-	Epsilon float64
-	Delta   float64
-	Epochs  int
-	Window  int
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	Epochs  int     `json:"epochs"`
+	Window  int     `json:"window"`
 }
 
 func (b BudgetContinual) validate() error {
@@ -266,32 +266,46 @@ func (a *ContinualAccountant) noteNodes(n int) {
 // once for batches (all-or-nothing). eps <= 0 disables noise, so under a
 // finite budget it is rejected outright rather than priced at zero.
 func (a *Accountant) charge(eps, delta float64, n int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	next, err := a.admitLocked(eps, delta, n)
+	if err != nil {
+		return err
+	}
+	a.spent = next.Spent
+	a.releases = next.Releases
+	return nil
+}
+
+// admitLocked prices a charge of n releases of (eps, delta) each against
+// the current ledger without committing anything, returning the full
+// post-charge state. It is the single admission point shared by charge and
+// ChargeLogged, so the in-memory and write-ahead paths cannot drift. The
+// caller holds a.mu.
+func (a *Accountant) admitLocked(eps, delta float64, n int) (AccountantState, error) {
 	// A non-finite charge would poison the running totals (NaN compares
 	// false against everything, silently disabling enforcement forever).
 	if math.IsNaN(eps) || math.IsInf(eps, 0) || math.IsNaN(delta) || math.IsInf(delta, 0) {
-		return fmt.Errorf("blowfish: non-finite privacy charge (ε=%g, δ=%g): %w", eps, delta, ErrInvalidOptions)
+		return AccountantState{}, fmt.Errorf("blowfish: non-finite privacy charge (ε=%g, δ=%g): %w", eps, delta, ErrInvalidOptions)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	next := AccountantState{Budget: a.budget, Spent: a.spent, Releases: a.releases}
 	if a.budget.unlimited() {
 		if eps > 0 {
-			a.spent.Epsilon += eps * float64(n)
-			a.spent.Delta += delta * float64(n)
+			next.Spent.Epsilon += eps * float64(n)
+			next.Spent.Delta += delta * float64(n)
 		}
-		a.releases += int64(n)
-		return nil
+		next.Releases += int64(n)
+		return next, nil
 	}
 	if eps <= 0 {
-		return fmt.Errorf("blowfish: eps=%g releases no noise and cannot be afforded by a finite budget: %w", eps, ErrBudgetExhausted)
+		return AccountantState{}, fmt.Errorf("blowfish: eps=%g releases no noise and cannot be afforded by a finite budget: %w", eps, ErrBudgetExhausted)
 	}
-	wantEps := a.spent.Epsilon + eps*float64(n)
-	wantDelta := a.spent.Delta + delta*float64(n)
-	if wantEps > a.budget.Epsilon*(1+budgetSlack) || wantDelta > a.budget.Delta*(1+budgetSlack) {
-		return fmt.Errorf("blowfish: release of (ε=%g, δ=%g)×%d exceeds remaining budget (spent ε=%g of %g, δ=%g of %g): %w",
+	next.Spent.Epsilon += eps * float64(n)
+	next.Spent.Delta += delta * float64(n)
+	if next.Spent.Epsilon > a.budget.Epsilon*(1+budgetSlack) || next.Spent.Delta > a.budget.Delta*(1+budgetSlack) {
+		return AccountantState{}, fmt.Errorf("blowfish: release of (ε=%g, δ=%g)×%d exceeds remaining budget (spent ε=%g of %g, δ=%g of %g): %w",
 			eps, delta, n, a.spent.Epsilon, a.budget.Epsilon, a.spent.Delta, a.budget.Delta, ErrBudgetExhausted)
 	}
-	a.spent.Epsilon = wantEps
-	a.spent.Delta = wantDelta
-	a.releases += int64(n)
-	return nil
+	next.Releases += int64(n)
+	return next, nil
 }

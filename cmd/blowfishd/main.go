@@ -41,7 +41,18 @@
 // token-bucket rate limited; excess requests get HTTP 429 with code
 // "rate_limited", distinct from the budget-admission 429 "budget_exhausted".
 //
-// Endpoints: GET /healthz, POST /v1/answer, POST /v1/update,
+// With -data-dir serving is durable: tenant ledgers and stream state are
+// snapshotted into the directory, every budget charge and stream delta is
+// written ahead to a synced WAL, and a restart replays both before the
+// daemon reports ready on GET /readyz (503 "not_ready" during replay). A
+// disk failure flips the daemon read-only — updates get 503 "read_only",
+// answers keep serving with in-memory accounting — and SIGTERM drains
+// in-flight requests, writes a final snapshot, and exits cleanly:
+//
+//	blowfishd -addr :8080 -data-dir /var/lib/blowfishd -snapshot-interval 30s
+//	curl -s localhost:8080/readyz
+//
+// Endpoints: GET /healthz, GET /readyz, POST /v1/answer, POST /v1/update,
 // GET /v1/budget?tenant=NAME, GET /v1/stats. See internal/serve for the
 // wire formats and the typed error → status mapping.
 package main
@@ -52,6 +63,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -76,21 +88,25 @@ func main() {
 		batchMax    = flag.Int("batch-max", 64, "max releases per coalesced batch")
 		seed        = flag.Int64("seed", 0, "noise seed (0 = from the clock; set only for reproducible tests)")
 		parallel    = flag.Int("parallel", 0, "worker pool width for batched releases (0 = one per CPU)")
+		dataDir     = flag.String("data-dir", "", "directory for durable ledgers and stream snapshots (empty = in-memory only)")
+		snapEvery   = flag.Duration("snapshot-interval", 0, "how often to fold the WAL into a fresh snapshot (0 = 1m, negative = only at shutdown)")
 	)
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		TenantBudget:    blowfish.Budget{Epsilon: *tenantEps, Delta: *tenantDelta},
-		PlanCacheSize:   *planCache,
-		EngineCacheSize: *engineCache,
-		StreamCacheSize: *streamCache,
-		TenantQPS:       *tenantQPS,
-		TenantBurst:     *tenantBurst,
-		BatchWindow:     *batchWindow,
-		MaxBatch:        *batchMax,
-		Seed:            *seed,
-		Parallelism:     *parallel,
-		Logf:            log.Printf,
+		TenantBudget:     blowfish.Budget{Epsilon: *tenantEps, Delta: *tenantDelta},
+		PlanCacheSize:    *planCache,
+		EngineCacheSize:  *engineCache,
+		StreamCacheSize:  *streamCache,
+		TenantQPS:        *tenantQPS,
+		TenantBurst:      *tenantBurst,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *batchMax,
+		Seed:             *seed,
+		Parallelism:      *parallel,
+		Logf:             log.Printf,
+		DataDir:          *dataDir,
+		SnapshotInterval: *snapEvery,
 	})
 
 	hs := &http.Server{
@@ -102,11 +118,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Bind the listener before recovery so health probes reach the daemon
+	// while it replays (the handlers answer 503 "not_ready" until Recover
+	// finishes), then recover synchronously: no answer or update is served
+	// off a half-restored ledger.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blowfishd: %v\n", err)
+		os.Exit(1)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	if *tenantEps > 0 || *tenantDelta > 0 {
+	go func() { errc <- hs.Serve(ln) }()
+	if err := srv.Recover(); err != nil {
+		fmt.Fprintf(os.Stderr, "blowfishd: recovery: %v\n", err)
+		os.Exit(1)
+	}
+	switch {
+	case *dataDir != "" && (*tenantEps > 0 || *tenantDelta > 0):
+		log.Printf("blowfishd: listening on %s (per-tenant budget ε=%g δ=%g, durable in %s)", *addr, *tenantEps, *tenantDelta, *dataDir)
+	case *dataDir != "":
+		log.Printf("blowfishd: listening on %s (unlimited tenant budgets, durable in %s)", *addr, *dataDir)
+	case *tenantEps > 0 || *tenantDelta > 0:
 		log.Printf("blowfishd: listening on %s (per-tenant budget ε=%g δ=%g)", *addr, *tenantEps, *tenantDelta)
-	} else {
+	default:
 		log.Printf("blowfishd: listening on %s (unlimited tenant budgets)", *addr)
 	}
 
@@ -117,11 +151,17 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
+		// Graceful shutdown: drain in-flight requests, then fold the WAL into
+		// a final snapshot so the next start replays nothing.
 		log.Printf("blowfishd: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
 			fmt.Fprintf(os.Stderr, "blowfishd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "blowfishd: final snapshot: %v\n", err)
 			os.Exit(1)
 		}
 	}

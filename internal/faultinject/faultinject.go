@@ -1,0 +1,239 @@
+// Package faultinject provides deterministic fault injection for the
+// durability layer. Code under test declares named injection points —
+// Check before a state transition, BeforeWrite around a file write — and a
+// test arms failures at exact (point, hit) coordinates: the nth time
+// execution passes a point, the armed fault fires. Three kinds exist:
+//
+//   - Err: the operation fails cleanly with an *InjectedError.
+//   - Torn: a write persists only a prefix of its payload and then fails,
+//     modeling a crash mid-write (a torn WAL record or half a snapshot).
+//   - Crash: the process is considered dead at this point. The error
+//     propagates like any write failure, but Crashed() reports it so a
+//     harness can stop driving the victim and restart from disk.
+//
+// Determinism comes from enumeration instead of randomness: a recording
+// run collects the full trace of (point, hit) pairs a workload passes,
+// and the recovery suite replays the workload once per trace entry with a
+// crash armed exactly there — kill at every injection point, restart,
+// assert invariants. SampleTrace subsamples long traces with a seeded
+// PRNG so sweeps stay deterministic at any size budget.
+//
+// A nil *Injector is valid and injects nothing, so production code paths
+// call the hooks unconditionally.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Kind classifies an armed fault.
+type Kind int
+
+const (
+	// Err fails the operation cleanly: no bytes are written.
+	Err Kind = iota
+	// Torn persists only Keep bytes of the write, then fails — a crash
+	// mid-write.
+	Torn
+	// Crash marks the process dead at this point. Persist layers treat it
+	// like any I/O failure; harnesses check Crashed() and abandon the
+	// victim instead of continuing to drive it.
+	Crash
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Err:
+		return "err"
+	case Torn:
+		return "torn"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Failure is one armed (or recorded) fault coordinate: the Hit-th pass
+// (1-based) through Point fires a fault of the given Kind. Keep is the
+// number of payload bytes a Torn write persists.
+type Failure struct {
+	Point string
+	Hit   int
+	Kind  Kind
+	Keep  int
+}
+
+// ErrInjected is the sentinel every injected failure wraps; callers branch
+// with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// InjectedError reports which armed failure fired.
+type InjectedError struct{ F Failure }
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: %s at %s hit %d", e.F.Kind, e.F.Point, e.F.Hit)
+}
+
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Injector counts passes through named points and fires armed failures.
+// It is safe for concurrent use; a nil Injector injects nothing.
+type Injector struct {
+	mu     sync.Mutex
+	hits   map[string]int
+	armed  []Failure
+	fired  []Failure
+	trace  []Failure
+	record bool
+}
+
+// New returns an empty Injector: nothing armed, nothing recorded.
+func New() *Injector { return &Injector{hits: map[string]int{}} }
+
+// Arm schedules f to fire on the f.Hit-th pass through f.Point (1-based;
+// 0 means the next pass).
+func (in *Injector) Arm(f Failure) {
+	if f.Hit < 1 {
+		f.Hit = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed = append(in.armed, f)
+}
+
+// StartRecording begins collecting the trace of every (point, hit) pass.
+func (in *Injector) StartRecording() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.record = true
+	in.trace = nil
+}
+
+// Trace returns a copy of the recorded (point, hit) passes in order.
+func (in *Injector) Trace() []Failure {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Failure(nil), in.trace...)
+}
+
+// Fired returns a copy of the failures that have fired so far.
+func (in *Injector) Fired() []Failure {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Failure(nil), in.fired...)
+}
+
+// Crashed reports whether a Crash-kind failure has fired.
+func (in *Injector) Crashed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range in.fired {
+		if f.Kind == Crash {
+			return true
+		}
+	}
+	return false
+}
+
+// pass counts a hit at point and returns the armed failure for this exact
+// (point, hit) coordinate, if any.
+func (in *Injector) pass(point string) (Failure, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[point]++
+	hit := in.hits[point]
+	if in.record {
+		in.trace = append(in.trace, Failure{Point: point, Hit: hit})
+	}
+	for _, f := range in.armed {
+		if f.Point == point && f.Hit == hit {
+			in.fired = append(in.fired, f)
+			return f, true
+		}
+	}
+	return Failure{}, false
+}
+
+// Check is the plain injection point: it counts a hit at point and returns
+// the armed failure's error, or nil. Safe on a nil Injector.
+func (in *Injector) Check(point string) error {
+	if in == nil {
+		return nil
+	}
+	if f, ok := in.pass(point); ok {
+		return &InjectedError{F: f}
+	}
+	return nil
+}
+
+// BeforeWrite is the injection point around one file write of n payload
+// bytes: it returns how many bytes should actually reach the file and the
+// armed failure's error. A Torn failure keeps min(f.Keep, n) bytes; Err and
+// Crash keep none. Safe on a nil Injector (writes pass through untouched).
+func (in *Injector) BeforeWrite(point string, n int) (int, error) {
+	if in == nil {
+		return n, nil
+	}
+	f, ok := in.pass(point)
+	if !ok {
+		return n, nil
+	}
+	keep := 0
+	if f.Kind == Torn {
+		keep = f.Keep
+		if keep > n {
+			keep = n
+		}
+		if keep < 0 {
+			keep = 0
+		}
+	}
+	return keep, &InjectedError{F: f}
+}
+
+// SampleTrace deterministically subsamples a recorded trace down to at most
+// max entries using a seeded splitmix64 shuffle, preserving trace order.
+// max <= 0 or >= len(trace) returns the full trace.
+func SampleTrace(trace []Failure, seed int64, max int) []Failure {
+	if max <= 0 || max >= len(trace) {
+		return append([]Failure(nil), trace...)
+	}
+	// Seeded partial Fisher–Yates over index positions, then restore order.
+	idx := make([]int, len(trace))
+	for i := range idx {
+		idx[i] = i
+	}
+	s := uint64(seed)
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < max; i++ {
+		j := i + int(next()%uint64(len(idx)-i))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	chosen := append([]int(nil), idx[:max]...)
+	// Restore trace order so the sweep still runs chronologically.
+	for i := 1; i < len(chosen); i++ {
+		for j := i; j > 0 && chosen[j-1] > chosen[j]; j-- {
+			chosen[j-1], chosen[j] = chosen[j], chosen[j-1]
+		}
+	}
+	out := make([]Failure, len(chosen))
+	for i, c := range chosen {
+		out[i] = trace[c]
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Check("p"); err != nil {
+		t.Fatalf("nil Check: %v", err)
+	}
+	if keep, err := in.BeforeWrite("p", 10); keep != 10 || err != nil {
+		t.Fatalf("nil BeforeWrite: keep=%d err=%v", keep, err)
+	}
+	if in.Crashed() || in.Fired() != nil {
+		t.Fatal("nil injector reports activity")
+	}
+}
+
+func TestArmedHitFiresExactlyOnce(t *testing.T) {
+	in := New()
+	in.Arm(Failure{Point: "wal.append", Hit: 2, Kind: Err})
+	if err := in.Check("wal.append"); err != nil {
+		t.Fatalf("hit 1 should pass: %v", err)
+	}
+	err := in.Check("wal.append")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 2 should fail with ErrInjected, got %v", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.F.Hit != 2 {
+		t.Fatalf("wrong injected error: %v", err)
+	}
+	if err := in.Check("wal.append"); err != nil {
+		t.Fatalf("hit 3 should pass: %v", err)
+	}
+	if got := len(in.Fired()); got != 1 {
+		t.Fatalf("fired %d times, want 1", got)
+	}
+}
+
+func TestTornWriteKeepsPrefix(t *testing.T) {
+	in := New()
+	in.Arm(Failure{Point: "snap.write", Hit: 1, Kind: Torn, Keep: 7})
+	keep, err := in.BeforeWrite("snap.write", 100)
+	if keep != 7 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: keep=%d err=%v", keep, err)
+	}
+	// Keep larger than the payload clamps.
+	in.Arm(Failure{Point: "snap.write", Hit: 2, Kind: Torn, Keep: 1000})
+	keep, err = in.BeforeWrite("snap.write", 10)
+	if keep != 10 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("clamped torn write: keep=%d err=%v", keep, err)
+	}
+}
+
+func TestCrashKindReported(t *testing.T) {
+	in := New()
+	in.Arm(Failure{Point: "wal.sync", Hit: 1, Kind: Crash})
+	if in.Crashed() {
+		t.Fatal("crashed before firing")
+	}
+	if _, err := in.BeforeWrite("wal.sync", 4); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash should inject: %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("Crashed() false after a Crash fired")
+	}
+}
+
+func TestRecordingTrace(t *testing.T) {
+	in := New()
+	in.StartRecording()
+	in.Check("a")
+	in.Check("b")
+	in.Check("a")
+	got := in.Trace()
+	want := []Failure{{Point: "a", Hit: 1}, {Point: "b", Hit: 1}, {Point: "a", Hit: 2}}
+	if len(got) != len(want) {
+		t.Fatalf("trace length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Point != want[i].Point || got[i].Hit != want[i].Hit {
+			t.Fatalf("trace[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSampleTraceDeterministicAndOrdered(t *testing.T) {
+	trace := make([]Failure, 20)
+	for i := range trace {
+		trace[i] = Failure{Point: "p", Hit: i + 1}
+	}
+	a := SampleTrace(trace, 42, 5)
+	b := SampleTrace(trace, 42, 5)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("sample sizes %d/%d, want 5", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i-1].Hit >= a[i].Hit {
+			t.Fatalf("sample out of trace order at %d", i)
+		}
+	}
+	if full := SampleTrace(trace, 1, 0); len(full) != len(trace) {
+		t.Fatalf("max<=0 should return the full trace, got %d", len(full))
+	}
+}

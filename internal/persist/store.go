@@ -1,0 +1,381 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/privacylab/blowfish/internal/faultinject"
+)
+
+// Options tunes a Store. Injector threads deterministic fault injection
+// through every disk operation; NoSync skips the actual fsync syscalls
+// (tests that sweep hundreds of crash points don't need real durability)
+// while still passing the injection points so traces stay identical.
+type Options struct {
+	Injector *faultinject.Injector
+	NoSync   bool
+}
+
+// Recovered is what Open found on disk: the latest valid snapshot payload
+// (nil on a fresh directory), its generation, the WAL records appended
+// since it, and whether a torn WAL tail was truncated away.
+type Recovered struct {
+	Snapshot []byte
+	Gen      uint64
+	Records  [][]byte
+	Torn     bool
+}
+
+// Store owns one data directory holding a single live (snapshot, WAL)
+// generation pair. It is not safe for concurrent use; the serving layer
+// serializes access under its WAL mutex. After any disk failure the Store
+// goes sticky-broken: every later mutation returns the original error, and
+// the caller is expected to degrade to read-only serving.
+type Store struct {
+	dir    string
+	opts   Options
+	gen    uint64
+	wal    *os.File
+	broken error
+}
+
+const (
+	snapSuffix = ".snap"
+	walSuffix  = ".wal"
+	tmpSuffix  = ".tmp"
+)
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016x%s", gen, snapSuffix) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%016x%s", gen, walSuffix) }
+
+// parseGen extracts the generation from a snap-/wal- file name.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
+// Open attaches to dir (creating it if needed), recovers the newest valid
+// generation, repairs a torn WAL tail, and removes temp files and stale
+// generations left behind by an earlier crash. A snapshot that exists under
+// its live name but fails validation is real corruption — Open refuses to
+// start rather than silently resetting ledgers.
+func Open(dir string, opts Options) (*Store, *Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: create data dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: read data dir: %w", err)
+	}
+
+	var snapGens, walGens []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			// A temp file is an interrupted snapshot write; the rename never
+			// happened, so it carries no committed state.
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, nil, fmt.Errorf("persist: remove temp file: %w", err)
+			}
+			continue
+		}
+		if g, ok := parseGen(name, "snap-", snapSuffix); ok {
+			snapGens = append(snapGens, g)
+		}
+		if g, ok := parseGen(name, "wal-", walSuffix); ok {
+			walGens = append(walGens, g)
+		}
+	}
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] < snapGens[j] })
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
+
+	rec := &Recovered{Gen: 1}
+	if n := len(snapGens); n > 0 {
+		gen := snapGens[n-1]
+		img, err := os.ReadFile(filepath.Join(dir, snapName(gen)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: read snapshot gen %d: %w", gen, err)
+		}
+		payload, err := DecodeSnapshot(img)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gen %d: %w", gen, err)
+		}
+		rec.Snapshot = payload
+		rec.Gen = gen
+	}
+
+	s := &Store{dir: dir, opts: opts, gen: rec.Gen}
+
+	// Open (or repair, or create) the live generation's WAL.
+	walPath := filepath.Join(dir, walName(rec.Gen))
+	body, err := os.ReadFile(walPath)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh directory, or a crash landed between snapshot rename and new
+		// WAL creation during Rotate — either way the snapshot already holds
+		// all committed state and the WAL starts empty.
+		if err := s.createWAL(rec.Gen); err != nil {
+			return nil, nil, err
+		}
+	case err != nil:
+		return nil, nil, fmt.Errorf("persist: read WAL gen %d: %w", rec.Gen, err)
+	default:
+		if len(body) < len(walMagic) {
+			// Torn header write: the file was created but the crash hit before
+			// the header landed. No record can exist, so rewrite it fresh.
+			rec.Torn = rec.Torn || len(body) > 0
+			if err := os.Remove(walPath); err != nil {
+				return nil, nil, fmt.Errorf("persist: remove torn WAL header: %w", err)
+			}
+			if err := s.createWAL(rec.Gen); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			records, valid, derr := DecodeWAL(body)
+			if derr != nil && !errors.Is(derr, ErrTornWAL) {
+				return nil, nil, derr
+			}
+			rec.Records = records
+			f, err := os.OpenFile(walPath, os.O_RDWR, 0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("persist: open WAL gen %d: %w", rec.Gen, err)
+			}
+			if derr != nil {
+				// Truncate the torn tail so later appends start on a frame
+				// boundary.
+				rec.Torn = true
+				if err := f.Truncate(int64(valid)); err != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("persist: truncate torn WAL: %w", err)
+				}
+				if err := s.fsync(f, "wal.sync"); err != nil {
+					f.Close()
+					return nil, nil, err
+				}
+			}
+			if _, err := f.Seek(int64(valid), 0); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("persist: seek WAL gen %d: %w", rec.Gen, err)
+			}
+			s.wal = f
+		}
+	}
+
+	// Drop stale generations (Rotate crashed before its cleanup step).
+	for _, g := range snapGens {
+		if g != rec.Gen {
+			if err := os.Remove(filepath.Join(dir, snapName(g))); err != nil {
+				s.close()
+				return nil, nil, fmt.Errorf("persist: remove stale snapshot gen %d: %w", g, err)
+			}
+		}
+	}
+	for _, g := range walGens {
+		if g != rec.Gen {
+			if err := os.Remove(filepath.Join(dir, walName(g))); err != nil {
+				s.close()
+				return nil, nil, fmt.Errorf("persist: remove stale WAL gen %d: %w", g, err)
+			}
+		}
+	}
+	return s, rec, nil
+}
+
+// fail marks the Store sticky-broken and returns err.
+func (s *Store) fail(err error) error {
+	if s.broken == nil {
+		s.broken = err
+	}
+	return err
+}
+
+// Err returns the sticky error from the first failed disk operation, or nil.
+func (s *Store) Err() error { return s.broken }
+
+// Gen returns the live generation number.
+func (s *Store) Gen() uint64 { return s.gen }
+
+// Dir returns the data directory the Store is attached to.
+func (s *Store) Dir() string { return s.dir }
+
+// fsync syncs f through the named injection point, honoring NoSync.
+func (s *Store) fsync(f *os.File, point string) error {
+	if err := s.opts.Injector.Check(point); err != nil {
+		return err
+	}
+	if s.opts.NoSync {
+		return nil
+	}
+	return f.Sync()
+}
+
+// syncDir fsyncs the data directory so renames and creates are durable.
+func (s *Store) syncDir(point string) error {
+	if err := s.opts.Injector.Check(point); err != nil {
+		return err
+	}
+	if s.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// injectedWrite writes b to f through the named BeforeWrite point: a Torn
+// fault persists only a prefix, then fails like a crash mid-write.
+func (s *Store) injectedWrite(f *os.File, point string, b []byte) error {
+	keep, ierr := s.opts.Injector.BeforeWrite(point, len(b))
+	if _, err := f.Write(b[:keep]); err != nil {
+		return err
+	}
+	return ierr
+}
+
+// createWAL writes a fresh, empty, synced WAL for gen and makes it the
+// live append target.
+func (s *Store) createWAL(gen uint64) error {
+	path := filepath.Join(s.dir, walName(gen))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: create WAL gen %d: %w", gen, err)
+	}
+	if err := s.injectedWrite(f, "wal.create", []byte(walMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: write WAL header gen %d: %w", gen, err)
+	}
+	if err := s.fsync(f, "wal.sync"); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: sync WAL header gen %d: %w", gen, err)
+	}
+	s.wal = f
+	return nil
+}
+
+// Append durably logs one record: frame, write, fsync. The record is only
+// considered committed when Append returns nil; any failure leaves the
+// Store broken and possibly a torn tail on disk, which the next Open
+// truncates away.
+func (s *Store) Append(record []byte) error {
+	if s.broken != nil {
+		return s.broken
+	}
+	if len(record) > MaxRecord {
+		return fmt.Errorf("persist: record of %d bytes exceeds cap %d", len(record), MaxRecord)
+	}
+	frame := AppendRecord(nil, record)
+	if err := s.injectedWrite(s.wal, "wal.append", frame); err != nil {
+		return s.fail(fmt.Errorf("persist: append WAL record: %w", err))
+	}
+	if err := s.fsync(s.wal, "wal.sync"); err != nil {
+		return s.fail(fmt.Errorf("persist: sync WAL: %w", err))
+	}
+	return nil
+}
+
+// Sync fsyncs the live WAL without appending.
+func (s *Store) Sync() error {
+	if s.broken != nil {
+		return s.broken
+	}
+	if err := s.fsync(s.wal, "wal.sync"); err != nil {
+		return s.fail(fmt.Errorf("persist: sync WAL: %w", err))
+	}
+	return nil
+}
+
+// Rotate commits payload as the next generation's snapshot and resets the
+// WAL. Ordering is what makes a crash at any point recoverable: the new
+// snapshot is written to a temp file, synced, renamed into place, and the
+// directory synced — only then is the new empty WAL created and the old
+// generation deleted. Open always finds at least one complete generation.
+func (s *Store) Rotate(payload []byte) error {
+	if s.broken != nil {
+		return s.broken
+	}
+	oldGen, newGen := s.gen, s.gen+1
+	img := EncodeSnapshot(payload)
+
+	tmpPath := filepath.Join(s.dir, snapName(newGen)+tmpSuffix)
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return s.fail(fmt.Errorf("persist: create snapshot temp: %w", err))
+	}
+	if err := s.injectedWrite(tmp, "snap.write", img); err != nil {
+		tmp.Close()
+		return s.fail(fmt.Errorf("persist: write snapshot: %w", err))
+	}
+	if err := s.fsync(tmp, "snap.sync"); err != nil {
+		tmp.Close()
+		return s.fail(fmt.Errorf("persist: sync snapshot: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return s.fail(fmt.Errorf("persist: close snapshot temp: %w", err))
+	}
+	if err := s.opts.Injector.Check("snap.rename"); err != nil {
+		return s.fail(fmt.Errorf("persist: rename snapshot: %w", err))
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapName(newGen))); err != nil {
+		return s.fail(fmt.Errorf("persist: rename snapshot: %w", err))
+	}
+	if err := s.syncDir("snap.dirsync"); err != nil {
+		return s.fail(fmt.Errorf("persist: sync data dir: %w", err))
+	}
+
+	// The new snapshot is now the recovery root. Swap in its empty WAL.
+	oldWAL := s.wal
+	if err := s.createWAL(newGen); err != nil {
+		return s.fail(err)
+	}
+	s.gen = newGen
+	if oldWAL != nil {
+		oldWAL.Close()
+	}
+
+	// Cleanup: failures here still break the Store (the disk is misbehaving)
+	// but recovery copes — Open removes stale generations below the live one.
+	for _, path := range []string{
+		filepath.Join(s.dir, walName(oldGen)),
+		filepath.Join(s.dir, snapName(oldGen)),
+	} {
+		if err := s.opts.Injector.Check("cleanup.remove"); err != nil {
+			return s.fail(fmt.Errorf("persist: cleanup gen %d: %w", oldGen, err))
+		}
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return s.fail(fmt.Errorf("persist: cleanup gen %d: %w", oldGen, err))
+		}
+	}
+	return nil
+}
+
+func (s *Store) close() {
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+	}
+}
+
+// Close releases the WAL file handle. It does not sync; callers wanting a
+// durable shutdown call Sync (or Rotate a final snapshot) first.
+func (s *Store) Close() error {
+	s.close()
+	return nil
+}

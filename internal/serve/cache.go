@@ -103,6 +103,49 @@ func (c *lru[V]) get(key string) (V, bool) {
 	return e.val, true
 }
 
+// put inserts a ready value under key, replacing any existing entry. It is
+// the recovery path's insertion point: restored streams land in the cache
+// without running a build.
+func (c *lru[V]) put(key string, v V) {
+	e := &lruEntry[V]{key: key, val: v, ready: make(chan struct{})}
+	close(e.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	el := c.ll.PushFront(e)
+	c.items[key] = el
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry[V]).key)
+		c.evictions.Add(1)
+	}
+}
+
+// each calls fn for every completed entry, most recently used first,
+// without counting hits or reordering. Entries whose build is still in
+// flight (or failed) are skipped — a snapshot must not block on a compile.
+func (c *lru[V]) each(fn func(key string, v V)) {
+	c.mu.Lock()
+	entries := make([]*lruEntry[V], 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*lruEntry[V]))
+	}
+	c.mu.Unlock()
+	for _, e := range entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				fn(e.key, e.val)
+			}
+		default:
+		}
+	}
+}
+
 // len returns the number of cached entries (including in-flight builds).
 func (c *lru[V]) len() int {
 	c.mu.Lock()

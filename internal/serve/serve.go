@@ -17,15 +17,23 @@
 // any budget (ingesting data releases nothing); /v1/answer with
 // "stream": true then releases over the maintained state under the tenant's
 // ledger. /v1/budget exposes a ledger, /v1/stats the cache/batch/panic
-// counters, /healthz liveness.
+// counters, /healthz liveness, /readyz readiness (503 while a durable
+// daemon replays its write-ahead log, and in read-only mode).
+//
+// With Config.DataDir set, serving is durable (see persist.go in this
+// package and internal/persist): tenant ledgers and stream state snapshot
+// periodically, every charge and delta is written ahead to a synced WAL,
+// and Recover replays both on startup before the daemon reports ready —
+// a crash can neither re-grant spent budget nor lose acknowledged deltas.
 //
 // Typed library errors map to HTTP statuses and stable wire codes
 // consistently (see statusFor and writeError — budget_exhausted and
 // rate_limited are 429, domain_mismatch/invalid_request/bad_json 400,
 // disconnected_policy 422, stream_exists 409, no_stream 404,
-// deadline_exceeded 504, canceled 503, panic/internal 500), and every
-// handler runs behind a recover barrier so a panicking request degrades to
-// a 500 response instead of killing the process.
+// deadline_exceeded 504, canceled and not_ready and read_only 503,
+// panic/internal 500), and every handler runs behind a recover barrier so a
+// panicking request degrades to a 500 response instead of killing the
+// process.
 package serve
 
 import (
@@ -42,6 +50,8 @@ import (
 	"time"
 
 	blowfish "github.com/privacylab/blowfish"
+	"github.com/privacylab/blowfish/internal/faultinject"
+	"github.com/privacylab/blowfish/internal/persist"
 )
 
 // Config sizes a Server. The zero value serves with the defaults below.
@@ -81,6 +91,25 @@ type Config struct {
 	// Logf, when non-nil, receives serving diagnostics (recovered panics
 	// with their stacks). cmd/blowfishd passes log.Printf.
 	Logf func(format string, args ...any)
+	// DataDir, when set, makes serving durable: tenant ledgers and stream
+	// state snapshot into this directory and every budget charge and stream
+	// delta is written ahead to a synced WAL. The daemon answers 503
+	// "not_ready" until Recover has replayed the log; a disk failure flips
+	// the daemon read-only (updates 503 "read_only", answers keep serving
+	// with in-memory accounting). Empty disables persistence entirely.
+	DataDir string
+	// SnapshotInterval is how often the durable daemon folds its WAL into a
+	// fresh snapshot generation; 0 defaults to one minute, negative disables
+	// timed snapshots (Snapshot can still be called explicitly, and Close
+	// always writes a final one). Ignored without DataDir.
+	SnapshotInterval time.Duration
+	// Injector threads deterministic fault injection into every disk
+	// operation of the persistence layer. Tests only; nil injects nothing.
+	Injector *faultinject.Injector
+	// WALNoSync skips the fsync syscalls in the persistence layer (the
+	// injection points still fire). Recovery tests sweeping hundreds of
+	// crash coordinates use it; production daemons must not.
+	WALNoSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +151,11 @@ type Stats struct {
 	PlanCacheSize   int64 `json:"plan_cache_size"`
 	PlanEvictions   int64 `json:"plan_cache_evictions"`
 	Tenants         int64 `json:"tenants"`
+	// Durability counters; all zero when the daemon runs without a DataDir.
+	ReadOnly    bool  `json:"read_only"`
+	Snapshots   int64 `json:"snapshots"`
+	WALRecords  int64 `json:"wal_records"`
+	WALReplayed int64 `json:"wal_replayed"`
 }
 
 // Server is the http.Handler implementing the blowfishd API:
@@ -146,6 +180,21 @@ type Server struct {
 	srcMu sync.Mutex
 	src   *blowfish.Source
 
+	// walMu serializes the durable mutation order: every budget charge and
+	// stream delta appends its WAL record under walMu before the in-memory
+	// state changes, and snapshot rotation exports under the same mutex —
+	// so the WAL order equals the apply order and a rotation can never lose
+	// a record or double-apply one. walMu is always taken before any
+	// accountant, cache or stream lock, never after. Nil store (no DataDir)
+	// skips it entirely.
+	walMu    sync.Mutex
+	store    *persist.Store
+	ready    atomic.Bool
+	readOnly atomic.Bool
+	stopSnap chan struct{}
+	snapDone chan struct{}
+	closed   sync.Once
+
 	answered        atomic.Int64
 	requests        atomic.Int64
 	updates         atomic.Int64
@@ -157,6 +206,9 @@ type Server struct {
 	batches         atomic.Int64
 	batchedReleases atomic.Int64
 	maxBatch        atomic.Int64
+	snapshots       atomic.Int64
+	walRecords      atomic.Int64
+	walReplayed     atomic.Int64
 }
 
 // planEntry is one cached compiled plan plus the engine that prepared it
@@ -180,8 +232,13 @@ func New(cfg Config) *Server {
 		tenants: map[string]*blowfish.Accountant{},
 		src:     blowfish.NewSource(cfg.Seed),
 	}
+	// A durable daemon is born not-ready: answers and updates 503 until
+	// Recover has replayed the WAL, so no release can slip past a ledger
+	// that is still mid-restore.
+	s.ready.Store(cfg.DataDir == "")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("POST /v1/answer", s.handleAnswer)
 	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/budget", s.handleBudget)
@@ -230,6 +287,10 @@ func (s *Server) Stats() Stats {
 		PlanCacheSize:   int64(s.plans.len()),
 		PlanEvictions:   s.plans.evictions.Load(),
 		Tenants:         tenants,
+		ReadOnly:        s.readOnly.Load(),
+		Snapshots:       s.snapshots.Load(),
+		WALRecords:      s.walRecords.Load(),
+		WALReplayed:     s.walReplayed.Load(),
 	}
 }
 
@@ -380,6 +441,10 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "invalid_request"
 	case errors.Is(err, blowfish.ErrDisconnectedPolicy):
 		return http.StatusUnprocessableEntity, "disconnected_policy"
+	case errors.Is(err, errStreamExists):
+		return http.StatusConflict, "stream_exists"
+	case errors.Is(err, errReadOnly):
+		return http.StatusServiceUnavailable, "read_only"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
@@ -645,6 +710,9 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if !s.notReady(w) {
+		return
+	}
 	var req AnswerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.errorCount.Add(1)
@@ -680,9 +748,10 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, err.Error(), nil)
 		return
 	}
-	// Admission control: charge the tenant's ledger before any computation.
+	// Admission control: charge the tenant's ledger before any computation
+	// (write-ahead when the daemon is durable).
 	acct := s.Accountant(tenant)
-	if err := acct.Charge(pl.Cost(req.Epsilon), 1); err != nil {
+	if err := s.chargeTenant(tenant, acct, pl.Cost(req.Epsilon)); err != nil {
 		status, code := statusFor(err)
 		if errors.Is(err, blowfish.ErrBudgetExhausted) {
 			s.rejectedBudget.Add(1)

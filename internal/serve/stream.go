@@ -57,6 +57,9 @@ type UpdateResponse struct {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if !s.notReady(w) {
+		return
+	}
 	var req UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.errorCount.Add(1)
@@ -96,32 +99,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	created := false
-	st, cached, err := s.streams.getOrCreate(streamKey(tenant, key), func() (*blowfish.Stream, error) {
-		base := req.Base
-		if base == nil {
-			base = make([]float64, pl.Domain())
-		}
-		return entry.eng.OpenStream(pl, base, blowfish.StreamOptions{})
-	})
+	st, created, err := s.updateStream(entry, tenant, key, &req)
 	if err != nil {
 		s.fail(w, err)
 		return
-	}
-	created = !cached
-	if cached && req.Base != nil {
-		// A base on an existing stream would silently fork histories; make
-		// the caller drop it (or wait for the stream to age out of the LRU).
-		writeError(w, http.StatusConflict, "stream_exists",
-			"stream already exists; base only seeds a new stream", nil)
-		s.errorCount.Add(1)
-		return
-	}
-	if len(req.Delta.Cells) > 0 {
-		if err := st.Apply(blowfish.Delta{Cells: req.Delta.Cells, Values: req.Delta.Values}); err != nil {
-			s.fail(w, err)
-			return
-		}
 	}
 	s.updates.Add(1)
 	stats := st.Stats()
@@ -152,7 +133,7 @@ func (s *Server) answerStream(w http.ResponseWriter, r *http.Request, tenant, ke
 		return
 	}
 	acct := s.Accountant(tenant)
-	if err := acct.Charge(pl.Cost(req.Epsilon), 1); err != nil {
+	if err := s.chargeTenant(tenant, acct, pl.Cost(req.Epsilon)); err != nil {
 		status, code := statusFor(err)
 		if errors.Is(err, blowfish.ErrBudgetExhausted) {
 			s.rejectedBudget.Add(1)

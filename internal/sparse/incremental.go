@@ -98,6 +98,23 @@ func (s *SATState) Table() []float64 { return s.t }
 // dims[0] for an unblocked state.
 func (s *SATState) BlockRows() int { return s.blockRows }
 
+// Export returns a copy of the maintained table for serialization. The copy
+// preserves the exact float values the patch path has accumulated — a
+// restored table answers bitwise identically to the exported one, drift
+// included, which a recompute from the histogram would not guarantee.
+func (s *SATState) Export() []float64 { return append([]float64(nil), s.t...) }
+
+// Restore overwrites the maintained table with a previously Exported one.
+// A length mismatch means the snapshot belongs to a different grid (or is
+// corrupt) and nothing is overwritten.
+func (s *SATState) Restore(table []float64) error {
+	if len(table) != len(s.t) {
+		return fmt.Errorf("sparse: restored table has %d entries, grid needs %d", len(table), len(s.t))
+	}
+	copy(s.t, table)
+	return nil
+}
+
 // NumSlabs returns the number of leading-dimension slabs (1 when unblocked).
 func (s *SATState) NumSlabs() int {
 	return (s.dims[0] + s.blockRows - 1) / s.blockRows

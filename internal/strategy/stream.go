@@ -30,11 +30,20 @@ import (
 // maintained artifacts. answer must not mutate the maintained state:
 // State serializes update/recompute against answer but allows concurrent
 // answers.
+//
+// exportState flattens the maintained artifacts into one float slice and
+// importState overwrites them with a previously exported one; together with
+// State.Export/Prepared.Restore they give the durability layer bitwise
+// round-trips — the restored artifacts carry the exact values the patch
+// path accumulated, incremental float drift included, which a recompute
+// from the histogram alone would not reproduce.
 type maintained interface {
 	update(cell int, delta float64)
 	updateCost(cell int) int
 	recompute(x []float64)
 	answer(eps float64, src *noise.Source) ([]float64, error)
+	exportState() []float64
+	importState(artifacts []float64) error
 }
 
 // State is a compiled strategy bound to one mutable histogram, created by
@@ -116,6 +125,19 @@ func (s *State) Answer(eps float64, src *noise.Source) ([]float64, error) {
 	return s.m.answer(eps, src)
 }
 
+// StateSnapshot is the serializable image of a State: the histogram plus
+// the flattened maintained artifacts, both carrying the exact float values
+// at export time.
+type StateSnapshot struct {
+	X         []float64 `json:"x"`
+	Artifacts []float64 `json:"artifacts"`
+}
+
+// Export snapshots the State for serialization.
+func (s *State) Export() StateSnapshot {
+	return StateSnapshot{X: append([]float64(nil), s.x...), Artifacts: s.m.exportState()}
+}
+
 // Refresh builds the incremental per-stream State for histogram x, or an
 // error when the strategy was compiled without an incremental form.
 func (p *Prepared) Refresh(x []float64) (*State, error) {
@@ -123,6 +145,24 @@ func (p *Prepared) Refresh(x []float64) (*State, error) {
 		return nil, fmt.Errorf("strategy: %s has no incremental state", p.Name)
 	}
 	return p.refresh(x)
+}
+
+// Restore rebuilds a State from a snapshot taken by Export on a State of
+// the same compiled strategy. Refresh recomputes the artifacts from the
+// histogram first (validating shape), then the exported artifacts overwrite
+// them so the restored State answers bitwise identically to the exported
+// one — including any incremental-patch drift the recompute would erase. A
+// shape mismatch in the artifacts is a corruption signal and fails without
+// partial state.
+func (p *Prepared) Restore(snap StateSnapshot) (*State, error) {
+	st, err := p.Refresh(snap.X)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.m.importState(snap.Artifacts); err != nil {
+		return nil, fmt.Errorf("strategy: %s: restore: %w", p.Name, err)
+	}
+	return st, nil
 }
 
 // treeState maintains the Theorem 4.3 artifacts: the transformed vector
@@ -149,6 +189,23 @@ func (t *treeState) updateCost(cell int) int { return t.tr.PathDepth(cell) }
 func (t *treeState) recompute(x []float64) {
 	t.tr.TransformInto(t.xg, x)
 	t.n = sum(x)
+}
+
+// exportState flattens the Theorem 4.3 artifacts as [n, x_G...].
+func (t *treeState) exportState() []float64 {
+	out := make([]float64, 1+len(t.xg))
+	out[0] = t.n
+	copy(out[1:], t.xg)
+	return out
+}
+
+func (t *treeState) importState(artifacts []float64) error {
+	if len(artifacts) != 1+len(t.xg) {
+		return fmt.Errorf("tree artifacts have %d entries, want %d", len(artifacts), 1+len(t.xg))
+	}
+	t.n = artifacts[0]
+	copy(t.xg, artifacts[1:])
+	return nil
 }
 
 func (t *treeState) answer(eps float64, src *noise.Source) ([]float64, error) {
@@ -186,6 +243,10 @@ func (g *satState) update(cell int, delta float64) { g.sat.PointAdd(cell, delta)
 func (g *satState) updateCost(cell int) int { return g.sat.PointAddCost(cell) }
 
 func (g *satState) recompute(x []float64) { g.sat.Recompute(x) }
+
+func (g *satState) exportState() []float64 { return g.sat.Export() }
+
+func (g *satState) importState(artifacts []float64) error { return g.sat.Restore(artifacts) }
 
 func (g *satState) answer(eps float64, src *noise.Source) ([]float64, error) {
 	out := g.eval(g.sat.Table())
