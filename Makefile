@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_eval.json
 
-.PHONY: all build test bench fuzz gate lint docs crash clean
+.PHONY: all build test bench fuzz gate lint docs crash chaos clean
 
 all: lint build test
 
@@ -31,13 +31,23 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzAnswerWire' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzUpdateWire' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz 'FuzzWALReplayRecord' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzSnapshotLoad' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime $(FUZZTIME)
 
-# Kill -9 / restart smoke against a real daemon process: ledgers and stream
-# state must survive a hard kill (WAL replay) and a SIGTERM (final snapshot).
+# Kill -9 / restart smoke against a real daemon process (driven through
+# blowfishctl, the retrying client): ledgers, stream state, and recorded
+# idempotent responses must survive a hard kill (WAL replay) and a SIGTERM
+# (final snapshot).
 crash:
 	./scripts/crash_smoke.sh
+
+# Chaos suite under the race detector: the retrying client against a faulty
+# daemon (dropped requests, lost responses, latency, kill -9 mid-request)
+# must land on exactly the fault-free ledger and stream state.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/serve
+	$(GO) test -race ./client
 
 # Regression gate: regenerate the benchmark reports at the same scale as the
 # checked-in baselines, then compare the machine-portable ratio columns.

@@ -1,0 +1,440 @@
+// Package client is the Go client for a blowfishd daemon. It wraps the
+// HTTP API with the retry discipline the server's failure semantics are
+// designed for:
+//
+//   - Mutating calls (Answer, Update) carry an Idempotency-Key, generated
+//     automatically per logical request, so a retry after a lost response
+//     replays the server's recorded bytes instead of spending budget or
+//     applying a delta twice. Exactly-once is a client+server contract:
+//     this package supplies the client half.
+//   - Transient failures — connection errors, 503 overloaded/not_ready,
+//     429 rate_limited, 504 deadline_exceeded on the wire — are retried
+//     with exponential backoff, full jitter, and the server's Retry-After
+//     hint as a floor. Permanent failures (4xx, budget_exhausted) are not:
+//     the typed wire code says retrying can never help.
+//   - Per-call deadlines propagate both ways: the context bounds the whole
+//     retry loop, and each attempt tells the server its remaining budget
+//     via the request's timeout_ms field so the server can shed work whose
+//     reply would be dead on arrival.
+//
+// Wire types mirror internal/serve's JSON schema; the daemon's API is the
+// compatibility surface, not the internal package.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config configures a Client. The zero value of every field has a usable
+// default; only BaseURL is required.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8787".
+	BaseURL string
+	// HTTPClient issues the requests; http.DefaultClient when nil. Chaos
+	// tests inject a faulty RoundTripper here.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts per call beyond the first (default 4;
+	// negative disables retries).
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff ceiling, doubling per attempt
+	// (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-attempt backoff ceiling (default 5s).
+	MaxBackoff time.Duration
+	// Timeout is the default per-call deadline applied when the caller's
+	// context has none; 0 means no default deadline.
+	Timeout time.Duration
+	// NewKey generates idempotency keys; the default draws 128 random bits.
+	// Tests pin it for determinism.
+	NewKey func() string
+	// Seed seeds the backoff jitter; 0 uses a random seed. Fixed seeds make
+	// retry schedules reproducible.
+	Seed int64
+}
+
+// Client talks to one blowfishd daemon. Safe for concurrent use.
+type Client struct {
+	cfg  Config
+	base string
+	hc   *http.Client
+
+	jmu sync.Mutex
+	jit *mrand.Rand
+}
+
+// New returns a Client for cfg.
+func New(cfg Config) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.NewKey == nil {
+		cfg.NewKey = randomKey
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		var b [8]byte
+		_, _ = rand.Read(b[:])
+		for i, x := range b {
+			seed |= int64(x) << (8 * i)
+		}
+	}
+	return &Client{
+		cfg:  cfg,
+		base: strings.TrimRight(cfg.BaseURL, "/"),
+		hc:   cfg.HTTPClient,
+		jit:  mrand.New(mrand.NewSource(seed)),
+	}
+}
+
+// randomKey draws a 128-bit hex idempotency key.
+func randomKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("client: reading random key: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// --- wire schema (mirrors the daemon's JSON API) ---
+
+// PolicySpec names a policy graph.
+type PolicySpec struct {
+	Kind  string `json:"kind"`
+	K     int    `json:"k,omitempty"`
+	Dims  []int  `json:"dims,omitempty"`
+	Theta int    `json:"theta,omitempty"`
+}
+
+// RectSpec is one inclusive hyper-rectangle query.
+type RectSpec struct {
+	Lo []int `json:"lo"`
+	Hi []int `json:"hi"`
+}
+
+// WorkloadSpec names a linear-query workload.
+type WorkloadSpec struct {
+	Kind   string     `json:"kind"`
+	Ranges [][2]int   `json:"ranges,omitempty"`
+	Rects  []RectSpec `json:"rects,omitempty"`
+}
+
+// OptionsSpec mirrors the engine options.
+type OptionsSpec struct {
+	Estimator string  `json:"estimator,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	Theta     int     `json:"theta,omitempty"`
+}
+
+// AnswerRequest is the body of POST /v1/answer.
+type AnswerRequest struct {
+	Tenant    string       `json:"tenant"`
+	Policy    PolicySpec   `json:"policy"`
+	Workload  WorkloadSpec `json:"workload"`
+	Options   OptionsSpec  `json:"options"`
+	Epsilon   float64      `json:"epsilon"`
+	X         []float64    `json:"x,omitempty"`
+	Stream    bool         `json:"stream,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// DeltaSpec is a batch of single-cell changes.
+type DeltaSpec struct {
+	Cells  []int     `json:"cells"`
+	Values []float64 `json:"values"`
+}
+
+// UpdateRequest is the body of POST /v1/update.
+type UpdateRequest struct {
+	Tenant    string       `json:"tenant"`
+	Policy    PolicySpec   `json:"policy"`
+	Workload  WorkloadSpec `json:"workload"`
+	Options   OptionsSpec  `json:"options"`
+	Base      []float64    `json:"base,omitempty"`
+	Delta     DeltaSpec    `json:"delta"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// BudgetInfo reports a tenant's ledger.
+type BudgetInfo struct {
+	Limited          bool     `json:"limited"`
+	SpentEpsilon     float64  `json:"spent_epsilon"`
+	SpentDelta       float64  `json:"spent_delta"`
+	RemainingEpsilon *float64 `json:"remaining_epsilon,omitempty"`
+	RemainingDelta   *float64 `json:"remaining_delta,omitempty"`
+	Releases         int64    `json:"releases"`
+}
+
+// AnswerResponse is the body of a successful POST /v1/answer.
+type AnswerResponse struct {
+	Algorithm string     `json:"algorithm"`
+	Answers   []float64  `json:"answers"`
+	Batched   int        `json:"batched"`
+	PlanKey   string     `json:"plan_key"`
+	Budget    BudgetInfo `json:"budget"`
+	// Replayed reports the response came from the server's idempotency
+	// table (set from the Idempotent-Replay header, not the JSON body).
+	Replayed bool `json:"-"`
+	// Raw is the exact response body. A replay is bitwise-identical to the
+	// original response; chaos tests assert on these bytes.
+	Raw []byte `json:"-"`
+}
+
+// UpdateResponse is the body of a successful POST /v1/update.
+type UpdateResponse struct {
+	PlanKey    string `json:"plan_key"`
+	Created    bool   `json:"created"`
+	Applied    int    `json:"applied"`
+	Patches    int64  `json:"patches"`
+	Recomputes int64  `json:"recomputes"`
+	Replayed   bool   `json:"-"`
+	Raw        []byte `json:"-"`
+}
+
+// --- calls ---
+
+// Answer releases req against the daemon, retrying transient failures under
+// one idempotency key so the release is charged and computed at most once.
+func (c *Client) Answer(ctx context.Context, req *AnswerRequest) (*AnswerResponse, error) {
+	var out AnswerResponse
+	replayed, raw, err := c.mutate(ctx, "/v1/answer", req, func(ms int64) { req.TimeoutMS = ms }, &out)
+	if err != nil {
+		return nil, err
+	}
+	out.Replayed, out.Raw = replayed, raw
+	return &out, nil
+}
+
+// Update feeds a delta to the daemon, retrying transient failures under one
+// idempotency key so the delta is applied at most once.
+func (c *Client) Update(ctx context.Context, req *UpdateRequest) (*UpdateResponse, error) {
+	var out UpdateResponse
+	replayed, raw, err := c.mutate(ctx, "/v1/update", req, func(ms int64) { req.TimeoutMS = ms }, &out)
+	if err != nil {
+		return nil, err
+	}
+	out.Replayed, out.Raw = replayed, raw
+	return &out, nil
+}
+
+// Budget fetches a tenant's ledger.
+func (c *Client) Budget(ctx context.Context, tenant string) (*BudgetInfo, error) {
+	var out struct {
+		Tenant string     `json:"tenant"`
+		Budget BudgetInfo `json:"budget"`
+	}
+	if err := c.get(ctx, "/v1/budget?tenant="+tenant, &out); err != nil {
+		return nil, err
+	}
+	return &out.Budget, nil
+}
+
+// Stats fetches the daemon's serving counters as raw JSON fields.
+func (c *Client) Stats(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	if err := c.get(ctx, "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ready reports whether the daemon answers /readyz with 200.
+func (c *Client) Ready(ctx context.Context) error {
+	var out map[string]any
+	return c.get(ctx, "/readyz", &out)
+}
+
+// get is one unretried GET (reads are cheap to re-issue at a higher level).
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	ctx, cancel := c.callContext(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// callContext applies the configured default deadline when ctx has none.
+func (c *Client) callContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok || c.cfg.Timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.cfg.Timeout)
+}
+
+// mutate is the retry loop shared by Answer and Update: one idempotency key
+// for the whole logical call, the remaining deadline re-stamped into the
+// body's timeout_ms before every attempt, transient failures backed off and
+// retried. Returns whether the accepted response was a server-side replay.
+func (c *Client) mutate(ctx context.Context, path string, body any, setTimeout func(int64), out any) (bool, []byte, error) {
+	ctx, cancel := c.callContext(ctx)
+	defer cancel()
+	key := c.cfg.NewKey()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return false, nil, wrapCtxErr(err, lastErr)
+		}
+		// Tell the server how much of the deadline is left so it can shed
+		// work whose reply would be dead on arrival.
+		if dl, ok := ctx.Deadline(); ok {
+			ms := int64(time.Until(dl) / time.Millisecond)
+			if ms < 1 {
+				ms = 1
+			}
+			setTimeout(ms)
+		}
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return false, nil, err
+		}
+		replayed, respBody, err := c.post(ctx, path, key, raw, out)
+		if err == nil {
+			return replayed, respBody, nil
+		}
+		lastErr = err
+		if attempt >= c.cfg.MaxRetries || !Retryable(err) {
+			return false, nil, err
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, retryAfter(err))); err != nil {
+			return false, nil, wrapCtxErr(err, lastErr)
+		}
+	}
+}
+
+// post is one attempt: marshal was done by the caller so every retry sends
+// identical bytes under the same Idempotency-Key.
+func (c *Client) post(ctx context.Context, path, key string, raw []byte, out any) (bool, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return false, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return false, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, nil, apiError(resp, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return false, nil, fmt.Errorf("client: undecodable %s response: %w", path, err)
+	}
+	return resp.Header.Get("Idempotent-Replay") == "true", body, nil
+}
+
+// backoff computes the sleep before retry attempt+1: full jitter over an
+// exponentially growing ceiling, floored by the server's Retry-After hint.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	ceil := float64(c.cfg.BaseBackoff) * math.Pow(2, float64(attempt))
+	if max := float64(c.cfg.MaxBackoff); ceil > max {
+		ceil = max
+	}
+	c.jmu.Lock()
+	d := time.Duration(c.jit.Float64() * ceil)
+	c.jmu.Unlock()
+	if d < hint {
+		d = hint
+	}
+	return d
+}
+
+// sleep waits d or until ctx is done.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wrapCtxErr keeps the last attempt's failure visible — and matchable with
+// errors.As — when the deadline finally kills the retry loop.
+func wrapCtxErr(ctxErr, lastErr error) error {
+	if lastErr == nil {
+		return ctxErr
+	}
+	return fmt.Errorf("%w (last attempt: %w)", ctxErr, lastErr)
+}
+
+// apiError decodes a non-200 response into an *APIError, tolerating
+// non-JSON bodies from intermediaries.
+func apiError(resp *http.Response, body []byte) error {
+	e := &APIError{StatusCode: resp.StatusCode}
+	var wire struct {
+		Error  string      `json:"error"`
+		Code   string      `json:"code"`
+		Budget *BudgetInfo `json:"budget"`
+	}
+	if json.Unmarshal(body, &wire) == nil && wire.Code != "" {
+		e.Code = wire.Code
+		e.Message = wire.Error
+		e.Budget = wire.Budget
+	} else {
+		e.Message = strings.TrimSpace(string(body))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.ParseFloat(ra, 64); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs * float64(time.Second))
+		}
+	}
+	return e
+}
+
+// retryAfter extracts the server's Retry-After hint from err, if any.
+func retryAfter(err error) time.Duration {
+	var ae *APIError
+	if asAPIError(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}

@@ -1,0 +1,303 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers each POST from a fixed script of responses and
+// records every attempt: the idempotency key, the body bytes, the arrival
+// time. Attempts beyond the script get the last entry.
+type scriptedServer struct {
+	mu       sync.Mutex
+	script   []scriptedResp
+	keys     []string
+	bodies   [][]byte
+	arrivals []time.Time
+}
+
+type scriptedResp struct {
+	status     int
+	body       string
+	retryAfter string
+	replay     bool
+}
+
+func (ss *scriptedServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf [1 << 16]byte
+		n, _ := r.Body.Read(buf[:])
+		ss.mu.Lock()
+		ss.keys = append(ss.keys, r.Header.Get("Idempotency-Key"))
+		ss.bodies = append(ss.bodies, append([]byte(nil), buf[:n]...))
+		ss.arrivals = append(ss.arrivals, time.Now())
+		i := len(ss.keys) - 1
+		if i >= len(ss.script) {
+			i = len(ss.script) - 1
+		}
+		resp := ss.script[i]
+		ss.mu.Unlock()
+		if resp.retryAfter != "" {
+			w.Header().Set("Retry-After", resp.retryAfter)
+		}
+		if resp.replay {
+			w.Header().Set("Idempotent-Replay", "true")
+		}
+		w.WriteHeader(resp.status)
+		w.Write([]byte(resp.body))
+	})
+}
+
+func (ss *scriptedServer) attempts() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.keys)
+}
+
+const okAnswer = `{"algorithm":"identity","answers":[1],"batched":1,"plan_key":"k"}`
+
+func newTestClient(url string, extra func(*Config)) *Client {
+	cfg := Config{
+		BaseURL:     url,
+		MaxRetries:  6,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Seed:        7,
+	}
+	if extra != nil {
+		extra(&cfg)
+	}
+	return New(cfg)
+}
+
+// TestRetryKeepsKeyAndBody pins the heart of the exactly-once contract's
+// client half: every retry of one logical call carries the same
+// Idempotency-Key and byte-identical request body.
+func TestRetryKeepsKeyAndBody(t *testing.T) {
+	ss := &scriptedServer{script: []scriptedResp{
+		{status: 503, body: `{"error":"busy","code":"overloaded"}`, retryAfter: "0"},
+		{status: 503, body: `{"error":"busy","code":"overloaded"}`, retryAfter: "0"},
+		{status: 200, body: okAnswer},
+	}}
+	srv := httptest.NewServer(ss.handler())
+	defer srv.Close()
+	c := newTestClient(srv.URL, nil)
+	resp, err := c.Answer(context.Background(), &AnswerRequest{Tenant: "t", Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.attempts(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if ss.keys[0] == "" || ss.keys[0] != ss.keys[1] || ss.keys[1] != ss.keys[2] {
+		t.Fatalf("idempotency keys differ across retries: %q", ss.keys)
+	}
+	if string(ss.bodies[0]) != string(ss.bodies[1]) || string(ss.bodies[1]) != string(ss.bodies[2]) {
+		t.Fatal("request bodies differ across retries")
+	}
+	if resp.Algorithm != "identity" || string(resp.Raw) != okAnswer {
+		t.Fatalf("response not surfaced: %+v raw=%q", resp, resp.Raw)
+	}
+	// A second logical call draws a fresh key.
+	if _, err := c.Answer(context.Background(), &AnswerRequest{Tenant: "t", Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if ss.keys[3] == ss.keys[0] {
+		t.Fatal("distinct logical calls must use distinct idempotency keys")
+	}
+}
+
+// TestRetryAfterHonored checks the server's Retry-After hint — including a
+// fractional-second value — floors the backoff before the next attempt.
+func TestRetryAfterHonored(t *testing.T) {
+	ss := &scriptedServer{script: []scriptedResp{
+		{status: 429, body: `{"error":"slow down","code":"rate_limited"}`, retryAfter: "0.08"},
+		{status: 200, body: okAnswer},
+	}}
+	srv := httptest.NewServer(ss.handler())
+	defer srv.Close()
+	c := newTestClient(srv.URL, nil)
+	if _, err := c.Answer(context.Background(), &AnswerRequest{Tenant: "t", Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.attempts(); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+	if gap := ss.arrivals[1].Sub(ss.arrivals[0]); gap < 80*time.Millisecond {
+		t.Fatalf("retry arrived after %v, Retry-After promised >= 80ms", gap)
+	}
+}
+
+// TestBudgetExhaustedNotRetried: the one 429 that must never be retried —
+// privacy budget does not refill.
+func TestBudgetExhaustedNotRetried(t *testing.T) {
+	ss := &scriptedServer{script: []scriptedResp{
+		{status: 429, body: `{"error":"budget gone","code":"budget_exhausted","budget":{"limited":true,"spent_epsilon":1,"releases":4}}`, retryAfter: "86400"},
+	}}
+	srv := httptest.NewServer(ss.handler())
+	defer srv.Close()
+	c := newTestClient(srv.URL, nil)
+	_, err := c.Answer(context.Background(), &AnswerRequest{Tenant: "t", Epsilon: 0.5})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ss.attempts(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (budget_exhausted is permanent)", got)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *APIError", err)
+	}
+	if ae.Code != "budget_exhausted" || ae.StatusCode != 429 {
+		t.Fatalf("typed surface: code=%q status=%d", ae.Code, ae.StatusCode)
+	}
+	if ae.Budget == nil || ae.Budget.SpentEpsilon != 1 || !ae.Budget.Limited {
+		t.Fatalf("ledger not surfaced: %+v", ae.Budget)
+	}
+	if ae.RetryAfter != 24*time.Hour {
+		t.Fatalf("RetryAfter = %v, want 24h", ae.RetryAfter)
+	}
+	if Retryable(err) {
+		t.Fatal("budget_exhausted must not be Retryable")
+	}
+}
+
+// TestRetryableCodes pins the typed retry classification.
+func TestRetryableCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&APIError{StatusCode: 429, Code: "budget_exhausted"}, false},
+		{&APIError{StatusCode: 429, Code: "rate_limited"}, true},
+		{&APIError{StatusCode: 503, Code: "overloaded"}, true},
+		{&APIError{StatusCode: 503, Code: "not_ready"}, true},
+		{&APIError{StatusCode: 503, Code: "read_only"}, true},
+		{&APIError{StatusCode: 504, Code: "deadline_exceeded"}, true},
+		{&APIError{StatusCode: 400, Code: "invalid"}, false},
+		{&APIError{StatusCode: 404, Code: "no_stream"}, false},
+		{&APIError{StatusCode: 500, Code: ""}, true},
+		{errors.New("connection reset"), true},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestDeadlineStamped checks the per-call deadline is propagated into the
+// request body's timeout_ms so the server can shed dead-on-arrival work.
+func TestDeadlineStamped(t *testing.T) {
+	ss := &scriptedServer{script: []scriptedResp{{status: 200, body: okAnswer}}}
+	srv := httptest.NewServer(ss.handler())
+	defer srv.Close()
+	c := newTestClient(srv.URL, func(cfg *Config) { cfg.Timeout = 400 * time.Millisecond })
+	if _, err := c.Answer(context.Background(), &AnswerRequest{Tenant: "t", Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	var sent struct {
+		TimeoutMS int64 `json:"timeout_ms"`
+	}
+	if err := json.Unmarshal(ss.bodies[0], &sent); err != nil {
+		t.Fatal(err)
+	}
+	if sent.TimeoutMS <= 0 || sent.TimeoutMS > 400 {
+		t.Fatalf("timeout_ms = %d, want in (0, 400]", sent.TimeoutMS)
+	}
+}
+
+// TestDeadlineBoundsRetryLoop: the context deadline caps the whole retry
+// loop, and the terminal error keeps the last attempt's failure visible.
+func TestDeadlineBoundsRetryLoop(t *testing.T) {
+	ss := &scriptedServer{script: []scriptedResp{
+		{status: 503, body: `{"error":"busy","code":"overloaded"}`, retryAfter: "10"},
+	}}
+	srv := httptest.NewServer(ss.handler())
+	defer srv.Close()
+	c := newTestClient(srv.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := c.Answer(ctx, &AnswerRequest{Tenant: "t", Epsilon: 0.5})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != "overloaded" {
+		t.Fatalf("terminal error lost the last attempt's failure: %v", err)
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Fatalf("retry loop outlived its deadline: %v", el)
+	}
+}
+
+// TestReplayedSurface: the Idempotent-Replay header becomes Replayed, and
+// Raw carries the exact recorded bytes.
+func TestReplayedSurface(t *testing.T) {
+	ss := &scriptedServer{script: []scriptedResp{{status: 200, body: okAnswer, replay: true}}}
+	srv := httptest.NewServer(ss.handler())
+	defer srv.Close()
+	c := newTestClient(srv.URL, nil)
+	resp, err := c.Answer(context.Background(), &AnswerRequest{Tenant: "t", Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Replayed {
+		t.Fatal("Replayed not set from Idempotent-Replay header")
+	}
+	if string(resp.Raw) != okAnswer {
+		t.Fatalf("Raw = %q, want recorded bytes", resp.Raw)
+	}
+}
+
+// TestNonJSONErrorTolerated: an intermediary's plain-text 502 still yields a
+// typed APIError instead of a decode failure.
+func TestNonJSONErrorTolerated(t *testing.T) {
+	ss := &scriptedServer{script: []scriptedResp{
+		{status: 502, body: "Bad Gateway"},
+		{status: 200, body: okAnswer},
+	}}
+	srv := httptest.NewServer(ss.handler())
+	defer srv.Close()
+	c := newTestClient(srv.URL, nil)
+	if _, err := c.Answer(context.Background(), &AnswerRequest{Tenant: "t", Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.attempts(); got != 2 {
+		t.Fatalf("attempts = %d, want 2 (502 is retryable)", got)
+	}
+}
+
+// TestUpdateSharesRetryLoop: Update uses the same mutate loop — one key,
+// replay surfaced.
+func TestUpdateSharesRetryLoop(t *testing.T) {
+	const okUpdate = `{"plan_key":"k","created":true,"applied":2,"patches":2,"recomputes":0}`
+	ss := &scriptedServer{script: []scriptedResp{
+		{status: 503, body: `{"error":"starting","code":"not_ready"}`},
+		{status: 200, body: okUpdate, replay: true},
+	}}
+	srv := httptest.NewServer(ss.handler())
+	defer srv.Close()
+	c := newTestClient(srv.URL, nil)
+	resp, err := c.Update(context.Background(), &UpdateRequest{Tenant: "t", Delta: DeltaSpec{Cells: []int{0, 1}, Values: []float64{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.keys[0] != ss.keys[1] || ss.keys[0] == "" {
+		t.Fatalf("update retries changed keys: %q", ss.keys)
+	}
+	if !resp.Replayed || resp.Applied != 2 || string(resp.Raw) != okUpdate {
+		t.Fatalf("update response: %+v raw=%q", resp, resp.Raw)
+	}
+}

@@ -1,0 +1,62 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// APIError is a non-200 daemon response: the HTTP status, the stable typed
+// wire code (see the README's wire-code table), the human message, the
+// tenant's ledger when the rejection carried one, and the server's
+// Retry-After hint.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	Budget     *BudgetInfo
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: %s (%d): %s", e.Code, e.StatusCode, e.Message)
+	}
+	return fmt.Sprintf("client: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// asAPIError is errors.As with the double-pointer noise hidden.
+func asAPIError(err error, out **APIError) bool {
+	return errors.As(err, out)
+}
+
+// Retryable reports whether err can possibly succeed on retry. The server's
+// typed wire codes make this exact where HTTP statuses alone are ambiguous:
+// both 429 causes look alike, but "rate_limited" clears with time while
+// "budget_exhausted" is permanent — the privacy budget does not refill.
+// Transport-level failures (connection refused, lost responses) are always
+// retryable: with an idempotency key a re-execution is safe and a replay is
+// free.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ae *APIError
+	if asAPIError(err, &ae) {
+		switch ae.Code {
+		case "budget_exhausted":
+			return false
+		case "rate_limited", "overloaded", "not_ready", "read_only", "deadline_exceeded", "canceled":
+			return true
+		}
+		return ae.StatusCode >= 500
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	// Anything else that reached the wire and failed — connection reset,
+	// injected faults, EOF mid-response — is worth one more try.
+	return true
+}

@@ -1,0 +1,160 @@
+// Command blowfishctl is a small CLI over the blowfish client package: it
+// issues requests to a blowfishd daemon with the client's full retry
+// discipline — idempotency keys, exponential backoff honoring Retry-After,
+// typed error handling — so shell scripts get exactly-once semantics
+// instead of re-running curl and hoping.
+//
+// Usage:
+//
+//	blowfishctl -base http://127.0.0.1:8080 wait-ready
+//	blowfishctl answer '{"tenant":"alice","policy":{"kind":"line","k":8},
+//	    "workload":{"kind":"histogram"},"epsilon":0.5,"x":[3,1,4,1,5,9,2,6]}'
+//	blowfishctl -key my-release-42 answer '{...}'   # pinned idempotency key
+//	blowfishctl update '{...}'
+//	blowfishctl budget alice
+//	blowfishctl stats
+//
+// answer and update read the request JSON from the argument, or from stdin
+// when the argument is "-" or absent. The raw response body is printed to
+// stdout (byte-identical to what the daemon recorded, so replay assertions
+// can diff it); a server-side idempotent replay is noted on stderr. Exit
+// status is 0 on success, 1 on any error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/privacylab/blowfish/client"
+)
+
+func main() {
+	var (
+		base    = flag.String("base", "http://127.0.0.1:8080", "daemon base URL")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-call deadline bounding the whole retry loop")
+		retries = flag.Int("retries", 8, "max retry attempts beyond the first (-1 disables)")
+		key     = flag.String("key", "", "pin the idempotency key (empty = fresh random key per call)")
+		seed    = flag.Int64("seed", 0, "backoff jitter seed (0 = random)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: blowfishctl [flags] {answer|update|budget|stats|wait-ready} [arg]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := client.Config{BaseURL: *base, MaxRetries: *retries, Timeout: *timeout, Seed: *seed}
+	if *key != "" {
+		k := *key
+		cfg.NewKey = func() string { return k }
+	}
+	c := client.New(cfg)
+	ctx := context.Background()
+
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "answer":
+		var req client.AnswerRequest
+		if err = readRequest(flag.Arg(1), &req); err == nil {
+			var resp *client.AnswerResponse
+			if resp, err = c.Answer(ctx, &req); err == nil {
+				emit(resp.Raw, resp.Replayed)
+			}
+		}
+	case "update":
+		var req client.UpdateRequest
+		if err = readRequest(flag.Arg(1), &req); err == nil {
+			var resp *client.UpdateResponse
+			if resp, err = c.Update(ctx, &req); err == nil {
+				emit(resp.Raw, resp.Replayed)
+			}
+		}
+	case "budget":
+		tenant := flag.Arg(1)
+		if tenant == "" {
+			tenant = "default"
+		}
+		var info *client.BudgetInfo
+		if info, err = c.Budget(ctx, tenant); err == nil {
+			err = printJSON(info)
+		}
+	case "stats":
+		var stats map[string]any
+		if stats, err = c.Stats(ctx); err == nil {
+			err = printJSON(stats)
+		}
+	case "wait-ready":
+		err = waitReady(ctx, c, *timeout)
+	default:
+		fmt.Fprintf(os.Stderr, "blowfishctl: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blowfishctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// readRequest decodes the JSON argument, or stdin for "-" or no argument.
+func readRequest(arg string, into any) error {
+	raw := []byte(arg)
+	if arg == "" || arg == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return fmt.Errorf("reading request from stdin: %w", err)
+		}
+		raw = b
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		return fmt.Errorf("decoding request JSON: %w", err)
+	}
+	return nil
+}
+
+// emit prints the daemon's exact response bytes, flagging replays on stderr.
+func emit(raw []byte, replayed bool) {
+	if replayed {
+		fmt.Fprintln(os.Stderr, "blowfishctl: idempotent replay (recorded response, no new execution)")
+	}
+	os.Stdout.Write(raw)
+	if len(raw) == 0 || raw[len(raw)-1] != '\n' {
+		fmt.Println()
+	}
+}
+
+func printJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+// waitReady polls /readyz until the daemon answers 200 or the deadline
+// passes — the retry loop a health-gated script needs at startup.
+func waitReady(ctx context.Context, c *client.Client, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	for {
+		if err := c.Ready(ctx); err == nil {
+			return nil
+		}
+		t := time.NewTimer(50 * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("daemon never became ready within %v", d)
+		}
+	}
+}

@@ -90,6 +90,11 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "worker pool width for batched releases (0 = one per CPU)")
 		dataDir     = flag.String("data-dir", "", "directory for durable ledgers and stream snapshots (empty = in-memory only)")
 		snapEvery   = flag.Duration("snapshot-interval", 0, "how often to fold the WAL into a fresh snapshot (0 = 1m, negative = only at shutdown)")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing answer/update requests; excess is queued or shed 503 \"overloaded\" (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "bounded wait queue behind -max-inflight (0 = 4x max-inflight)")
+		idemTTL     = flag.Duration("idem-ttl", 0, "how long a recorded idempotent response stays replayable (0 = 15m, negative = until evicted)")
+		idemMax     = flag.Int("idem-max", 0, "max recorded idempotent responses, oldest evicted first (0 = 4096)")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM before forcing connections closed")
 	)
 	flag.Parse()
 
@@ -102,6 +107,10 @@ func main() {
 		TenantBurst:      *tenantBurst,
 		BatchWindow:      *batchWindow,
 		MaxBatch:         *batchMax,
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		IdemTTL:          *idemTTL,
+		IdemMax:          *idemMax,
 		Seed:             *seed,
 		Parallelism:      *parallel,
 		Logf:             log.Printf,
@@ -151,14 +160,18 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		// Graceful shutdown: drain in-flight requests, then fold the WAL into
-		// a final snapshot so the next start replays nothing.
+		// Graceful shutdown: drain in-flight requests — bounded by
+		// -drain-timeout, because an unbounded drain (one stuck client) would
+		// hold the final snapshot hostage — then fold the WAL into a final
+		// snapshot so the next start replays nothing. If the drain deadline
+		// expires, remaining connections are forced closed and the snapshot
+		// still runs: a slow client must not cost durability.
 		log.Printf("blowfishd: shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "blowfishd: shutdown: %v\n", err)
-			os.Exit(1)
+			log.Printf("blowfishd: drain timed out (%v); forcing connections closed", err)
+			_ = hs.Close()
 		}
 		if err := srv.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "blowfishd: final snapshot: %v\n", err)

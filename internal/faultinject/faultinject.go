@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Kind classifies an armed fault.
@@ -58,12 +59,14 @@ func (k Kind) String() string {
 
 // Failure is one armed (or recorded) fault coordinate: the Hit-th pass
 // (1-based) through Point fires a fault of the given Kind. Keep is the
-// number of payload bytes a Torn write persists.
+// number of payload bytes a Torn write persists; Delay is how long an
+// armed PointHTTPLatency fault stalls the request.
 type Failure struct {
 	Point string
 	Hit   int
 	Kind  Kind
 	Keep  int
+	Delay time.Duration
 }
 
 // ErrInjected is the sentinel every injected failure wraps; callers branch

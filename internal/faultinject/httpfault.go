@@ -1,0 +1,71 @@
+package faultinject
+
+// HTTP-level faults: a Transport wraps an http.RoundTripper and fires armed
+// failures at three named points on every request, modeling the network
+// between a client and a daemon rather than the daemon's disk:
+//
+//   - PointHTTPLatency: the armed failure's Delay elapses before the request
+//     is forwarded (honoring the request context) — a slow network.
+//   - PointHTTPBefore: the request never reaches the server; the client gets
+//     a connection error. Safe to retry blindly — nothing executed.
+//   - PointHTTPAfter: the request reaches the server and fully executes, but
+//     the response is lost on the way back. This is THE fault idempotency
+//     exists for: the client cannot tell it from PointHTTPBefore, so a
+//     naive retry re-executes while a keyed retry replays.
+//
+// Determinism works exactly like the disk points: every request passes all
+// three points in order, hits are counted per point, and only armed
+// (point, hit) coordinates fire.
+
+import (
+	"net/http"
+	"time"
+)
+
+// Named HTTP injection points, in the order every request passes them.
+const (
+	PointHTTPLatency = "http.latency"
+	PointHTTPBefore  = "http.before"
+	PointHTTPAfter   = "http.after"
+)
+
+// Transport is an http.RoundTripper that injects faults from In around the
+// Base transport (http.DefaultTransport when nil). A nil In injects nothing.
+type Transport struct {
+	In   *Injector
+	Base http.RoundTripper
+}
+
+// RoundTrip forwards the request through Base, firing any armed HTTP faults.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.In != nil {
+		if f, ok := t.In.pass(PointHTTPLatency); ok && f.Delay > 0 {
+			timer := time.NewTimer(f.Delay)
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				timer.Stop()
+				return nil, req.Context().Err()
+			}
+		}
+		if f, ok := t.In.pass(PointHTTPBefore); ok {
+			return nil, &InjectedError{F: f}
+		}
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.In != nil {
+		if f, ok := t.In.pass(PointHTTPAfter); ok {
+			// The server did the work; the client never hears about it.
+			resp.Body.Close()
+			return nil, &InjectedError{F: f}
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTransportFaults drives one request per fault kind through a counting
+// server and checks the defining property of each point: "before" faults
+// never reach the server, "after" faults do the work but lose the response,
+// latency faults delay but succeed, and unarmed requests pass untouched.
+func TestTransportFaults(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	in := New()
+	client := &http.Client{Transport: &Transport{In: in}}
+	get := func() (*http.Response, error) { return client.Get(srv.URL) }
+
+	// Hit 1: unarmed — passes through.
+	resp, err := get()
+	if err != nil {
+		t.Fatalf("unarmed request: %v", err)
+	}
+	resp.Body.Close()
+	if served.Load() != 1 {
+		t.Fatalf("served = %d, want 1", served.Load())
+	}
+
+	// Hit 2: dropped before the server.
+	in.Arm(Failure{Point: PointHTTPBefore, Hit: 2, Kind: Err})
+	if _, err := get(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("before fault: err = %v, want ErrInjected", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("before fault reached the server: served = %d", served.Load())
+	}
+
+	// Third request: response lost after the server executed. The dropped
+	// second request never passed the "after" point, so this is its hit 2.
+	in.Arm(Failure{Point: PointHTTPAfter, Hit: 2, Kind: Err})
+	if _, err := get(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("after fault: err = %v, want ErrInjected", err)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("after fault must execute server-side: served = %d, want 2", served.Load())
+	}
+
+	// Hit 4: latency, then success.
+	in.Arm(Failure{Point: PointHTTPLatency, Hit: 4, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	resp, err = get()
+	if err != nil {
+		t.Fatalf("latency fault must still succeed: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency fault elapsed only %v", d)
+	}
+	if served.Load() != 3 {
+		t.Fatalf("served = %d, want 3", served.Load())
+	}
+}
+
+// TestTransportLatencyHonorsContext checks a delayed request dies with the
+// caller's deadline instead of sleeping past it.
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	in := New()
+	in.Arm(Failure{Point: PointHTTPLatency, Hit: 1, Delay: time.Hour})
+	client := &http.Client{Transport: &Transport{In: in}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if _, err := client.Do(req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestTransportNilInjector pins that a Transport without an injector is a
+// transparent proxy — production code can wire it unconditionally.
+func TestTransportNilInjector(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: &Transport{}}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("nil-injector transport: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "ok" {
+		t.Fatalf("body = %q", b)
+	}
+}

@@ -146,6 +146,16 @@ func (c *lru[V]) each(fn func(key string, v V)) {
 	}
 }
 
+// contains reports whether key is cached (including in-flight builds)
+// without waiting, counting a hit, or touching recency — the admission
+// gate's cheap "would this request need a cold compile" probe.
+func (c *lru[V]) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // len returns the number of cached entries (including in-flight builds).
 func (c *lru[V]) len() int {
 	c.mu.Lock()

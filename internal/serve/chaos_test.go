@@ -1,0 +1,267 @@
+package serve
+
+// Chaos suite: a retrying client (the public client package) drives a
+// durable daemon through injected HTTP faults — dropped requests, lost
+// responses, latency — and a simulated kill -9 mid-request, then the final
+// state is compared against a fault-free reference run. The two invariants
+// under test are the PR's exactly-once contract:
+//
+//   - The ledger's spend equals the sum of distinctly-acknowledged charges:
+//     retries and replays never add spend.
+//   - Every delta's effect appears exactly once: the ε=0 (noiseless) stream
+//     answer is bitwise-equal to the fault-free run's.
+//
+// The kill -9 is simulated in-process: the victim Server is abandoned
+// without Close (no final snapshot — recovery must come from the WAL) and a
+// fresh Server recovers from the same data directory behind the same HTTP
+// front. scripts/crash_smoke.sh kills a real daemon process the same way.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/privacylab/blowfish/client"
+	"github.com/privacylab/blowfish/internal/faultinject"
+)
+
+const chaosK = 8
+
+func chaosUpdate(tenant string, base []float64, cells []int, values []float64) *client.UpdateRequest {
+	return &client.UpdateRequest{
+		Tenant:   tenant,
+		Policy:   client.PolicySpec{Kind: "line", K: chaosK},
+		Workload: client.WorkloadSpec{Kind: "histogram"},
+		Base:     base,
+		Delta:    client.DeltaSpec{Cells: cells, Values: values},
+	}
+}
+
+func chaosAnswer(tenant string, eps float64, x []float64, stream bool) *client.AnswerRequest {
+	return &client.AnswerRequest{
+		Tenant:   tenant,
+		Policy:   client.PolicySpec{Kind: "line", K: chaosK},
+		Workload: client.WorkloadSpec{Kind: "histogram"},
+		Epsilon:  eps,
+		X:        x,
+		Stream:   stream,
+	}
+}
+
+// chaosWorkload runs the fixed op sequence split into two halves (the crash
+// lands between them) and returns the final ε=0 stream answer's raw bytes.
+// Every op must succeed; retries are the client's business.
+func chaosWorkload(t *testing.T, c *client.Client, tenant string, half int) []byte {
+	t.Helper()
+	ctx := context.Background()
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	type step func() error
+	firstHalf := []step{
+		func() error {
+			_, err := c.Update(ctx, chaosUpdate(tenant, []float64{1, 1, 1, 1, 1, 1, 1, 1}, []int{0}, []float64{2}))
+			return err
+		},
+		func() error { _, err := c.Answer(ctx, chaosAnswer(tenant, 0.25, x, false)); return err },
+		func() error {
+			_, err := c.Update(ctx, chaosUpdate(tenant, nil, []int{1, 2}, []float64{3, 4}))
+			return err
+		},
+		func() error { _, err := c.Answer(ctx, chaosAnswer(tenant, 0.25, x, false)); return err },
+	}
+	secondHalf := []step{
+		func() error {
+			_, err := c.Update(ctx, chaosUpdate(tenant, nil, []int{7, 0}, []float64{-1, 5}))
+			return err
+		},
+		func() error { _, err := c.Answer(ctx, chaosAnswer(tenant, 0.25, x, false)); return err },
+	}
+	steps := firstHalf
+	if half == 2 {
+		steps = secondHalf
+	}
+	for i, st := range steps {
+		if err := st(); err != nil {
+			t.Fatalf("half %d step %d: %v", half, i, err)
+		}
+	}
+	if half != 2 {
+		return nil
+	}
+	resp, err := c.Answer(ctx, chaosAnswer(tenant, 0, nil, true))
+	if err != nil {
+		t.Fatalf("final stream answer: %v", err)
+	}
+	return resp.Raw
+}
+
+// TestChaosRetryingClientExactlyOnce is the end-to-end chaos run described
+// in the package comment above.
+func TestChaosRetryingClientExactlyOnce(t *testing.T) {
+	const tenant = "chaos"
+
+	// --- fault-free reference run (in-memory daemon, plain client) ---
+	ref := New(Config{Seed: 21})
+	refFront := httptest.NewServer(ref)
+	defer refFront.Close()
+	refClient := client.New(client.Config{BaseURL: refFront.URL, Seed: 1})
+	chaosWorkload(t, refClient, tenant, 1)
+	// The reference executes the crash-straddling op as a normal answer.
+	if _, err := refClient.Answer(context.Background(), chaosAnswer(tenant, 0.25, []float64{3, 1, 4, 1, 5, 9, 2, 6}, false)); err != nil {
+		t.Fatal(err)
+	}
+	refRaw := chaosWorkload(t, refClient, tenant, 2)
+	refSpent := ref.Accountant(tenant).Spent().Epsilon
+	refReleases := ref.Accountant(tenant).Releases()
+
+	// --- chaos run: durable daemon behind a swappable front, faulty client ---
+	dir := t.TempDir()
+	var current atomic.Pointer[Server]
+	s1 := New(Config{Seed: 22, DataDir: dir, SnapshotInterval: -1})
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	current.Store(s1)
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.Load().ServeHTTP(w, r)
+	}))
+	defer front.Close()
+
+	in := faultinject.New()
+	// Dropped request (never reaches the daemon), lost response (daemon
+	// executed, client never hears), and a latency spike. Hit numbers are
+	// deterministic but deliberately not aligned with specific ops — the
+	// invariants must hold wherever they land.
+	in.Arm(faultinject.Failure{Point: faultinject.PointHTTPBefore, Hit: 2, Kind: faultinject.Err})
+	in.Arm(faultinject.Failure{Point: faultinject.PointHTTPAfter, Hit: 3, Kind: faultinject.Err})
+	in.Arm(faultinject.Failure{Point: faultinject.PointHTTPLatency, Hit: 5, Delay: 2 * time.Millisecond})
+	in.Arm(faultinject.Failure{Point: faultinject.PointHTTPAfter, Hit: 6, Kind: faultinject.Err})
+	faulty := client.New(client.Config{
+		BaseURL:     front.URL,
+		HTTPClient:  &http.Client{Transport: &faultinject.Transport{In: in}},
+		MaxRetries:  10,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        2,
+	})
+	chaosWorkload(t, faulty, tenant, 1)
+
+	// --- kill -9 mid-request ---
+	// One answer executes server-side but its response is lost; before the
+	// client can retry, the daemon is hard-killed. The retry (same key) hits
+	// the recovered daemon, which must replay the WAL-recorded response —
+	// charged exactly once, even though the client never saw the original.
+	lost := faultinject.New()
+	lost.Arm(faultinject.Failure{Point: faultinject.PointHTTPAfter, Hit: 1, Kind: faultinject.Err})
+	const lostKey = "crash-straddle"
+	oneShot := client.New(client.Config{
+		BaseURL:    front.URL,
+		HTTPClient: &http.Client{Transport: &faultinject.Transport{In: lost}},
+		MaxRetries: -1, // fail on the first lost response; the retry happens post-crash
+		NewKey:     func() string { return lostKey },
+	})
+	if _, err := oneShot.Answer(context.Background(), chaosAnswer(tenant, 0.25, []float64{3, 1, 4, 1, 5, 9, 2, 6}, false)); err == nil {
+		t.Fatal("lost-response op unexpectedly succeeded")
+	}
+	// Hard kill: abandon s1 (no Close, no snapshot) and recover from disk.
+	s2 := New(Config{Seed: 23, DataDir: dir, SnapshotInterval: -1})
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	current.Store(s2)
+	retry := client.New(client.Config{BaseURL: front.URL, NewKey: func() string { return lostKey }})
+	resp, err := retry.Answer(context.Background(), chaosAnswer(tenant, 0.25, []float64{3, 1, 4, 1, 5, 9, 2, 6}, false))
+	if err != nil {
+		t.Fatalf("post-crash retry: %v", err)
+	}
+	if !resp.Replayed {
+		t.Fatal("post-crash retry must replay the WAL-recorded response, not re-execute")
+	}
+
+	chaosRaw := chaosWorkload(t, faulty, tenant, 2)
+
+	// --- invariants ---
+	// Ledger spend equals the distinctly-acknowledged charges: 4 answers at
+	// ε=0.25 plus the free ε=0 stream answer, exactly as in the reference.
+	if spent := s2.Accountant(tenant).Spent().Epsilon; spent != refSpent {
+		t.Fatalf("chaos spend ε=%g != reference ε=%g: a retry charged twice or a charge was lost", spent, refSpent)
+	}
+	if rel := s2.Accountant(tenant).Releases(); rel != refReleases {
+		t.Fatalf("chaos releases %d != reference %d", rel, refReleases)
+	}
+	// Every delta applied exactly once: the noiseless stream answer is
+	// bitwise-equal to the fault-free run's.
+	if !bytes.Equal(chaosRaw, refRaw) {
+		t.Fatalf("ε=0 stream answer diverged from fault-free reference:\nchaos: %s\nref:   %s", chaosRaw, refRaw)
+	}
+	// The faults actually fired and the dedupe table actually replayed.
+	if fired := in.Fired(); len(fired) != 4 {
+		t.Fatalf("fired %d of 4 armed faults: %v", len(fired), fired)
+	}
+	if hits := s2.Stats().IdemHits; hits < 1 {
+		t.Fatalf("idem_hits = %d, want >= 1 (the post-crash replay)", hits)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosEveryAfterFault sweeps a lost-response fault across every
+// mutating op of the workload: for each coordinate the op's first response
+// is dropped, the client retries, and the final state must still match the
+// fault-free reference — the sweep analogue of internal/persist's
+// crash-at-every-write recovery sweep, one layer up.
+func TestChaosEveryAfterFault(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+
+	run := func(afterHit int) ([]byte, float64, int64) {
+		var in *faultinject.Injector
+		if afterHit > 0 {
+			in = faultinject.New()
+			in.Arm(faultinject.Failure{Point: faultinject.PointHTTPAfter, Hit: afterHit, Kind: faultinject.Err})
+		}
+		s := New(Config{Seed: 31})
+		front := httptest.NewServer(s)
+		defer front.Close()
+		c := client.New(client.Config{
+			BaseURL:     front.URL,
+			HTTPClient:  &http.Client{Transport: &faultinject.Transport{In: in}},
+			MaxRetries:  6,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  2 * time.Millisecond,
+			Seed:        4,
+		})
+		ctx := context.Background()
+		tenant := "sweep"
+		if _, err := c.Update(ctx, chaosUpdate(tenant, []float64{0, 0, 0, 0, 0, 0, 0, 0}, []int{0, 3}, []float64{1, 2})); err != nil {
+			t.Fatalf("hit %d: create: %v", afterHit, err)
+		}
+		if _, err := c.Update(ctx, chaosUpdate(tenant, nil, []int{3, 5}, []float64{7, -2})); err != nil {
+			t.Fatalf("hit %d: delta: %v", afterHit, err)
+		}
+		if _, err := c.Answer(ctx, chaosAnswer(tenant, 0.5, x, false)); err != nil {
+			t.Fatalf("hit %d: answer: %v", afterHit, err)
+		}
+		resp, err := c.Answer(ctx, chaosAnswer(tenant, 0, nil, true))
+		if err != nil {
+			t.Fatalf("hit %d: stream answer: %v", afterHit, err)
+		}
+		return resp.Raw, s.Accountant(tenant).Spent().Epsilon, s.Accountant(tenant).Releases()
+	}
+
+	refRaw, refSpent, refReleases := run(0)
+	// 4 ops → 4 successful "after" passes in the fault-free run; dropping
+	// any one of them forces a retry of that op.
+	for hit := 1; hit <= 4; hit++ {
+		raw, spent, releases := run(hit)
+		if spent != refSpent || releases != refReleases {
+			t.Fatalf("after-fault at hit %d: spend ε=%g releases=%d, reference ε=%g/%d", hit, spent, releases, refSpent, refReleases)
+		}
+		if !bytes.Equal(raw, refRaw) {
+			t.Fatalf("after-fault at hit %d: stream answer diverged:\n%s\n%s", hit, raw, refRaw)
+		}
+	}
+}

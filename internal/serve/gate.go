@@ -1,0 +1,92 @@
+package serve
+
+// This file is the overload layer of the daemon: a max-in-flight admission
+// gate with a deadline-aware wait queue. Work the daemon cannot take on is
+// shed explicitly — HTTP 503 with the typed "overloaded" wire code and a
+// Retry-After hint — instead of queueing without bound until every caller
+// has timed out anyway.
+//
+// Shedding prefers cheap work over expensive work: when no slot is free, a
+// request whose plan is already compiled may wait in the bounded queue,
+// but a request that would trigger a cold strategy compile is shed
+// immediately. Under pressure the daemon keeps serving the plans it has
+// rather than stalling everyone behind new compiles. A request whose
+// deadline expires while queued is shed too (its reply would be dead on
+// arrival), counted separately so operators can tell "queue too long for
+// the deadlines clients send" from "queue full".
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverloaded sheds work at admission: the daemon is at max in-flight
+// capacity and the wait queue is full (or the request needs a cold compile).
+var errOverloaded = errors.New("serve: overloaded, shedding load")
+
+// errShedExpired sheds a queued request whose deadline expired before a
+// slot freed up. It maps to the same 503 "overloaded" wire response.
+var errShedExpired = errors.New("serve: deadline expired while queued for admission")
+
+// gate is the admission gate. A nil *gate admits everything.
+type gate struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+// newGate caps concurrent admitted requests at maxInFlight with a wait
+// queue of maxQueue (<= 0 defaults to 4×maxInFlight). maxInFlight <= 0
+// disables the gate.
+func newGate(maxInFlight, maxQueue int) *gate {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue <= 0 {
+		maxQueue = 4 * maxInFlight
+	}
+	return &gate{slots: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue until ctx
+// expires. cold marks a request that would compile a new plan: under
+// pressure it is shed immediately rather than queued. The returned release
+// must be called exactly once when the request finishes.
+func (g *gate) acquire(ctx context.Context, cold bool) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	default:
+	}
+	if cold {
+		return nil, errOverloaded
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return nil, errOverloaded
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, errShedExpired
+		}
+		return nil, ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// inFlight returns the number of currently admitted requests.
+func (g *gate) inFlight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.slots)
+}

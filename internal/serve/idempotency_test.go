@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postKeyed is postPath with an Idempotency-Key header.
+func postKeyed(t *testing.T, s *Server, path, key string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestIdemTableLifecycle drives the dedupe table through its whole
+// lifecycle with a fake clock: record, replay, TTL expiry, max eviction,
+// and abandoned claims re-executing.
+func TestIdemTableLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tbl := newIdemTable(2, time.Minute, func() time.Time { return now })
+	ctx := context.Background()
+
+	replay, leader, err := tbl.begin(ctx, "a")
+	if err != nil || replay != nil || !leader {
+		t.Fatalf("fresh key: replay=%v leader=%v err=%v", replay, leader, err)
+	}
+	tbl.finish("a", 200, []byte("A"))
+	replay, leader, _ = tbl.begin(ctx, "a")
+	if leader || replay == nil || string(replay.Body) != "A" {
+		t.Fatalf("recorded key must replay, got leader=%v replay=%v", leader, replay)
+	}
+
+	// An abandoned claim leaves nothing: the next begin leads again.
+	if _, leader, _ := tbl.begin(ctx, "b"); !leader {
+		t.Fatal("key b: want leader")
+	}
+	tbl.abandon("b")
+	if _, leader, _ := tbl.begin(ctx, "b"); !leader {
+		t.Fatal("abandoned key must re-lead")
+	}
+	tbl.finish("b", 200, []byte("B"))
+
+	// Max = 2: recording a third evicts the oldest ("a").
+	if _, leader, _ := tbl.begin(ctx, "c"); !leader {
+		t.Fatal("key c: want leader")
+	}
+	tbl.finish("c", 200, []byte("C"))
+	if tbl.size() != 2 {
+		t.Fatalf("size = %d, want 2", tbl.size())
+	}
+	if replay, _, _ := tbl.begin(ctx, "a"); replay != nil {
+		t.Fatal("oldest key must have been evicted by max")
+	}
+	tbl.abandon("a")
+
+	// TTL: advance past a minute; both survivors expire.
+	now = now.Add(2 * time.Minute)
+	if replay, leader, _ := tbl.begin(ctx, "b"); replay != nil || !leader {
+		t.Fatalf("expired key must re-lead, got replay=%v leader=%v", replay, leader)
+	}
+}
+
+// TestIdemTableSingleFlight checks concurrent duplicates wait on the leader
+// and then all replay its recorded bytes — one execution, N responses.
+func TestIdemTableSingleFlight(t *testing.T) {
+	tbl := newIdemTable(16, 0, nil)
+	ctx := context.Background()
+	_, leader, _ := tbl.begin(ctx, "k")
+	if !leader {
+		t.Fatal("first begin must lead")
+	}
+	const waiters = 8
+	var wg sync.WaitGroup
+	got := make([][]byte, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replay, lead, err := tbl.begin(ctx, "k")
+			if err != nil || lead || replay == nil {
+				t.Errorf("waiter %d: replay=%v lead=%v err=%v", i, replay, lead, err)
+				return
+			}
+			got[i] = replay.Body
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let waiters park on the slot
+	tbl.finish("k", 200, []byte("once"))
+	wg.Wait()
+	for i, b := range got {
+		if string(b) != "once" {
+			t.Fatalf("waiter %d replayed %q", i, b)
+		}
+	}
+	if tbl.hits.Load() != waiters {
+		t.Fatalf("hits = %d, want %d", tbl.hits.Load(), waiters)
+	}
+}
+
+// TestIdemTableBeginHonorsContext checks a waiter dies with its context
+// instead of waiting forever on a stuck leader.
+func TestIdemTableBeginHonorsContext(t *testing.T) {
+	tbl := newIdemTable(16, 0, nil)
+	if _, leader, _ := tbl.begin(context.Background(), "k"); !leader {
+		t.Fatal("want leader")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := tbl.begin(ctx, "k"); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestIdempotentAnswerReplay checks the core exactly-once contract on
+// /v1/answer: the same key returns byte-identical bytes (same noise), is
+// flagged as a replay, and charges the tenant exactly once.
+func TestIdempotentAnswerReplay(t *testing.T) {
+	s := New(Config{Seed: 42})
+	body := answerBody(t, "alice", 4, 0.5, []float64{3, 1, 4, 1})
+
+	first := postKeyed(t, s, "/v1/answer", "key-1", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first answer: %d (%s)", first.Code, first.Body.String())
+	}
+	if first.Header().Get("Idempotent-Replay") != "" {
+		t.Fatal("fresh execution must not be flagged as a replay")
+	}
+	second := postKeyed(t, s, "/v1/answer", "key-1", body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("replayed answer: %d", second.Code)
+	}
+	if second.Header().Get("Idempotent-Replay") != "true" {
+		t.Fatal("replay must carry the Idempotent-Replay header")
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatalf("replay not byte-identical:\n%s\n%s", first.Body.String(), second.Body.String())
+	}
+	// One charge: a noisy answer at ε=0.5 spent exactly 0.5 once.
+	if spent := s.Accountant("alice").Spent().Epsilon; spent != 0.5 {
+		t.Fatalf("spent ε = %g, want 0.5 (exactly one charge)", spent)
+	}
+	// A different key executes fresh: different noise, another charge.
+	third := postKeyed(t, s, "/v1/answer", "key-2", body)
+	if third.Code != http.StatusOK {
+		t.Fatalf("third answer: %d", third.Code)
+	}
+	if bytes.Equal(first.Body.Bytes(), third.Body.Bytes()) {
+		t.Fatal("distinct keys must draw distinct noise")
+	}
+	st := s.Stats()
+	if st.IdemHits != 1 || st.IdemRecorded != 2 || st.IdemEntries != 2 {
+		t.Fatalf("stats = hits %d recorded %d entries %d, want 1/2/2", st.IdemHits, st.IdemRecorded, st.IdemEntries)
+	}
+}
+
+// TestIdempotentUpdateExactlyOnce checks /v1/update under a retried key:
+// the delta lands once, and the replayed response reports the original
+// counters rather than re-applying.
+func TestIdempotentUpdateExactlyOnce(t *testing.T) {
+	s := New(Config{Seed: 7})
+	const k = 4
+	up := updateBody(t, "bob", k, []float64{1, 2, 3, 4}, []int{2}, []float64{10})
+	first := postKeyed(t, s, "/v1/update", "u-1", up)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first update: %d (%s)", first.Code, first.Body.String())
+	}
+	for i := 0; i < 3; i++ {
+		again := postKeyed(t, s, "/v1/update", "u-1", up)
+		if again.Code != http.StatusOK || again.Header().Get("Idempotent-Replay") != "true" {
+			t.Fatalf("retry %d: %d replay=%q", i, again.Code, again.Header().Get("Idempotent-Replay"))
+		}
+		if !bytes.Equal(first.Body.Bytes(), again.Body.Bytes()) {
+			t.Fatalf("retry %d not byte-identical", i)
+		}
+	}
+	// The delta applied exactly once: cell 2 is 3+10, not 3+40.
+	rec := postPath(t, s, "/v1/answer", streamAnswerBody(t, "bob", k, 0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream answer: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var resp AnswerResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 13, 4}
+	for i := range want {
+		if resp.Answers[i] != want[i] {
+			t.Fatalf("stream answers %v, want %v (delta must apply exactly once)", resp.Answers, want)
+		}
+	}
+}
+
+// TestIdempotencyKeyTooLong pins the request-size guard on the dedupe table.
+func TestIdempotencyKeyTooLong(t *testing.T) {
+	s := New(Config{Seed: 1})
+	long := make([]byte, idemKeyMaxLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	rec := postKeyed(t, s, "/v1/answer", string(long), answerBody(t, "a", 4, 0, make([]float64, 4)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized key: %d, want 400", rec.Code)
+	}
+}
+
+// TestRetryStormSingleCharge fires N concurrent requests under one key —
+// the thundering retry herd — and checks exactly one execution happened:
+// one charge, N-1 byte-identical replays or single-flight waits.
+func TestRetryStormSingleCharge(t *testing.T) {
+	s := New(Config{Seed: 99})
+	body := answerBody(t, "storm", 8, 0.25, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	const n = 16
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := postKeyed(t, s, "/v1/answer", "storm-key", body)
+			codes[i], bodies[i] = rec.Code, rec.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: %d", i, codes[i])
+		}
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d diverged from request 0", i)
+		}
+	}
+	if spent := s.Accountant("storm").Spent().Epsilon; spent != 0.25 {
+		t.Fatalf("spent ε = %g, want 0.25: the storm charged more than once", spent)
+	}
+	if rel := s.Accountant("storm").Releases(); rel != 1 {
+		t.Fatalf("releases = %d, want 1", rel)
+	}
+}
+
+// TestIdempotentReplayAcrossRestart is the durability half of the contract:
+// a keyed answer served before a crash must replay byte-identically after
+// WAL recovery — and again after a clean shutdown's snapshot retired that
+// WAL — with zero additional spend.
+func TestIdempotentReplayAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := answerBody(t, "alice", 4, 0.5, []float64{3, 1, 4, 1})
+	up := updateBody(t, "alice", 4, []float64{1, 1, 1, 1}, []int{0}, []float64{5})
+
+	s1 := New(Config{Seed: 11, DataDir: dir})
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	first := postKeyed(t, s1, "/v1/answer", "a-key", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first answer: %d (%s)", first.Code, first.Body.String())
+	}
+	firstUp := postKeyed(t, s1, "/v1/update", "u-key", up)
+	if firstUp.Code != http.StatusOK {
+		t.Fatalf("first update: %d (%s)", firstUp.Code, firstUp.Body.String())
+	}
+	// Crash: the server is abandoned without Close, so no final snapshot is
+	// written and recovery must come from the WAL records alone.
+	s2 := New(Config{Seed: 1234, DataDir: dir}) // different seed: replay must not recompute
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	replay := postKeyed(t, s2, "/v1/answer", "a-key", body)
+	if replay.Code != http.StatusOK || replay.Header().Get("Idempotent-Replay") != "true" {
+		t.Fatalf("post-crash answer: %d replay=%q", replay.Code, replay.Header().Get("Idempotent-Replay"))
+	}
+	if !bytes.Equal(first.Body.Bytes(), replay.Body.Bytes()) {
+		t.Fatalf("post-crash replay not byte-identical:\n%s\n%s", first.Body.String(), replay.Body.String())
+	}
+	replayUp := postKeyed(t, s2, "/v1/update", "u-key", up)
+	if replayUp.Code != http.StatusOK || !bytes.Equal(firstUp.Body.Bytes(), replayUp.Body.Bytes()) {
+		t.Fatalf("post-crash update replay mismatch: %d", replayUp.Code)
+	}
+	if spent := s2.Accountant("alice").Spent().Epsilon; spent != 0.5 {
+		t.Fatalf("post-crash spent ε = %g, want 0.5", spent)
+	}
+	// The replayed delta must not have re-applied: cell 0 is 1+5, once.
+	recAns := postPath(t, s2, "/v1/answer", streamAnswerBody(t, "alice", 4, 0))
+	var resp AnswerResponse
+	if err := json.Unmarshal(recAns.Body.Bytes(), &resp); err != nil || resp.Answers[0] != 6 {
+		t.Fatalf("stream cell 0 = %v (err %v), want 6", resp.Answers, err)
+	}
+
+	// Clean shutdown: the snapshot retires the WAL; the dedupe table must
+	// survive through the snapshot image instead.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := New(Config{Seed: 5678, DataDir: dir})
+	if err := s3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Stats().WALReplayed; got != 0 {
+		t.Fatalf("clean restart replayed %d WAL records, want 0", got)
+	}
+	again := postKeyed(t, s3, "/v1/answer", "a-key", body)
+	if again.Code != http.StatusOK || !bytes.Equal(first.Body.Bytes(), again.Body.Bytes()) {
+		t.Fatalf("post-snapshot replay mismatch: %d", again.Code)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryStormWithRestart interleaves a retry storm with a crash/restart:
+// half the storm lands on the first daemon, the rest on its successor, and
+// still exactly one charge exists with every response byte-identical.
+func TestRetryStormWithRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := answerBody(t, "carol", 4, 0.5, []float64{2, 7, 1, 8})
+
+	s1 := New(Config{Seed: 3, DataDir: dir})
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	var canonical []byte
+	storm := func(s *Server, n int) {
+		t.Helper()
+		var wg sync.WaitGroup
+		results := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rec := postKeyed(t, s, "/v1/answer", "storm-restart", body)
+				if rec.Code == http.StatusOK {
+					results[i] = rec.Body.Bytes()
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, b := range results {
+			if b == nil {
+				t.Fatalf("storm request %d failed", i)
+			}
+			if canonical == nil {
+				canonical = b
+			}
+			if !bytes.Equal(canonical, b) {
+				t.Fatalf("storm response %d diverged", i)
+			}
+		}
+	}
+	storm(s1, 8)
+	// Crash mid-storm (no Close, no snapshot), restart, finish the storm.
+	s2 := New(Config{Seed: 4, DataDir: dir})
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	storm(s2, 8)
+	if spent := s2.Accountant("carol").Spent().Epsilon; spent != 0.5 {
+		t.Fatalf("spent ε = %g across restarted storm, want 0.5", spent)
+	}
+	if rel := s2.Accountant("carol").Releases(); rel != 1 {
+		t.Fatalf("releases = %d, want exactly 1", rel)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdemEntriesBounded checks -idem-max actually bounds the table under
+// a churn of distinct keys.
+func TestIdemEntriesBounded(t *testing.T) {
+	s := New(Config{Seed: 8, IdemMax: 4})
+	body := answerBody(t, "a", 4, 0, make([]float64, 4))
+	for i := 0; i < 10; i++ {
+		rec := postKeyed(t, s, "/v1/answer", fmt.Sprintf("k-%d", i), body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("answer %d: %d", i, rec.Code)
+		}
+	}
+	if n := s.Stats().IdemEntries; n != 4 {
+		t.Fatalf("idem entries = %d, want 4 (bounded)", n)
+	}
+}

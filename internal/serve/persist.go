@@ -39,14 +39,26 @@ var errStreamExists = errors.New("serve: stream already exists; base only seeds 
 //	"charge": Tenant, State   — absolute post-charge ledger (idempotent)
 //	"open":   Tenant, Key, Base — a stream was created (nil Base = zeros)
 //	"apply":  Tenant, Key, Cells, Values — a delta was folded in
+//	"idem_answer": Tenant, IdemKey, State, Status, Body, At — one
+//	    idempotent charged release: the post-charge ledger AND the exact
+//	    response bytes commit together, so a replayed request returns the
+//	    original bytes with zero additional spend.
+//	"idem_update": Tenant, IdemKey, Key, Created, Base, Cells, Values,
+//	    Status, Body, At — one idempotent stream mutation plus its
+//	    response, committed as a unit (exactly-once deltas).
 type walRecord struct {
-	Op     string                    `json:"op"`
-	Tenant string                    `json:"tenant,omitempty"`
-	Key    string                    `json:"key,omitempty"`
-	State  *blowfish.AccountantState `json:"state,omitempty"`
-	Base   []float64                 `json:"base,omitempty"`
-	Cells  []int                     `json:"cells,omitempty"`
-	Values []float64                 `json:"values,omitempty"`
+	Op      string                    `json:"op"`
+	Tenant  string                    `json:"tenant,omitempty"`
+	Key     string                    `json:"key,omitempty"`
+	State   *blowfish.AccountantState `json:"state,omitempty"`
+	Base    []float64                 `json:"base,omitempty"`
+	Cells   []int                     `json:"cells,omitempty"`
+	Values  []float64                 `json:"values,omitempty"`
+	IdemKey string                    `json:"idem_key,omitempty"`
+	Created bool                      `json:"created,omitempty"`
+	Status  int                       `json:"status,omitempty"`
+	Body    []byte                    `json:"body,omitempty"`
+	At      int64                     `json:"at,omitempty"`
 }
 
 // streamSnap is one maintained stream in a snapshot, identified by its
@@ -58,10 +70,22 @@ type streamSnap struct {
 	State  *blowfish.StreamState `json:"state"`
 }
 
+// idemSnap is one recorded idempotent response in a snapshot, so the
+// dedupe table survives WAL rotation: a retry arriving after a snapshot
+// retired the original idem_* record still replays the original bytes.
+type idemSnap struct {
+	Tenant string `json:"tenant"`
+	Key    string `json:"key"`
+	Status int    `json:"status"`
+	Body   []byte `json:"body"`
+	At     int64  `json:"at"`
+}
+
 // snapshotData is the full daemon image one snapshot generation holds.
 type snapshotData struct {
 	Tenants map[string]blowfish.AccountantState `json:"tenants"`
 	Streams []streamSnap                        `json:"streams"`
+	Idem    []idemSnap                          `json:"idem,omitempty"`
 }
 
 // splitStreamKey undoes streamKey. Plan keys are json.Marshal output, which
@@ -137,6 +161,58 @@ func (s *Server) chargeTenant(tenant string, acct *blowfish.Accountant, per blow
 	return err
 }
 
+// chargeRecorded is chargeTenant for idempotent requests: it prices the
+// charge, builds the canonical response body from the tentative post-charge
+// ledger, and commits charge + response as ONE WAL record under the ledger
+// mutex — extending ChargeLogged's ordering so the response bytes are
+// durable before the spend is observable. A crash therefore loses either
+// the whole request (the retry executes fresh, charged once) or nothing
+// (the retry replays the recorded bytes, charged zero more). On success the
+// in-memory dedupe table records the response and the exact bytes are
+// returned for the reply. A disk failure degrades like chargeTenant:
+// in-memory accounting plus an in-memory-only dedupe entry.
+func (s *Server) chargeRecorded(tenant, ikey string, acct *blowfish.Accountant, per blowfish.Budget, makeBody func(BudgetInfo) ([]byte, error)) ([]byte, error) {
+	var body []byte
+	build := func(st blowfish.AccountantState) error {
+		b, err := makeBody(budgetInfoFromState(st))
+		if err != nil {
+			return invalid("unencodable response: %v", err)
+		}
+		body = b
+		return nil
+	}
+	commit := func(err error) ([]byte, error) {
+		if err != nil {
+			return nil, err
+		}
+		s.idem.finish(idemKey(tenant, ikey), http.StatusOK, body)
+		return body, nil
+	}
+	if s.store == nil || s.readOnly.Load() {
+		return commit(acct.ChargeLogged(per, 1, build))
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.readOnly.Load() {
+		return commit(acct.ChargeLogged(per, 1, build))
+	}
+	err := acct.ChargeLogged(per, 1, func(st blowfish.AccountantState) error {
+		if err := build(st); err != nil {
+			return err
+		}
+		return s.appendWAL(walRecord{
+			Op: "idem_answer", Tenant: tenant, IdemKey: ikey, State: &st,
+			Status: http.StatusOK, Body: body, At: s.idem.now().UnixNano(),
+		})
+	})
+	if errors.Is(err, errReadOnly) {
+		// The charge was admissible; only the disk failed. Keep serving with
+		// in-memory accounting and an in-memory dedupe entry.
+		return commit(acct.ChargeLogged(per, 1, build))
+	}
+	return commit(err)
+}
+
 // updateStream opens (if needed) and mutates the (tenant, plan) maintained
 // stream, write-ahead when the daemon is durable. The WAL records and the
 // in-memory mutations happen under walMu in the same order, so replay
@@ -184,6 +260,67 @@ func (s *Server) updateStream(entry *planEntry, tenant, key string, req *UpdateR
 		}
 	}
 	return st, !cached, nil
+}
+
+// updateStreamIdem is updateStream for idempotent requests: the open, the
+// delta, and the canonical response commit as ONE "idem_update" WAL record,
+// appended after the in-memory apply (the response body carries post-apply
+// counters) but before the reply is visible, all under walMu. A crash before
+// the append loses both the record and the in-memory state together, so the
+// retry re-executes — still exactly once. A disk failure after the apply
+// leaves the delta in memory but unacknowledged; the daemon goes read-only
+// and rejects further updates, so no divergent history is ever acknowledged.
+func (s *Server) updateStreamIdem(entry *planEntry, tenant, key, ikey, hash string, req *UpdateRequest) ([]byte, error) {
+	pl := entry.plan
+	durable := s.store != nil
+	if durable {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
+		if s.readOnly.Load() {
+			return nil, errReadOnly
+		}
+	}
+	skey := streamKey(tenant, key)
+	st, cached, err := s.streams.getOrCreate(skey, func() (*blowfish.Stream, error) {
+		base := req.Base
+		if base == nil {
+			base = make([]float64, pl.Domain())
+		}
+		return entry.eng.OpenStream(pl, base, blowfish.StreamOptions{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cached && req.Base != nil {
+		return nil, errStreamExists
+	}
+	if len(req.Delta.Cells) > 0 {
+		if err := st.Apply(blowfish.Delta{Cells: req.Delta.Cells, Values: req.Delta.Values}); err != nil {
+			return nil, err
+		}
+	}
+	stats := st.Stats()
+	body, err := json.Marshal(UpdateResponse{
+		PlanKey:    hash,
+		Created:    !cached,
+		Applied:    len(req.Delta.Cells),
+		Patches:    stats.Patches,
+		Recomputes: stats.Recomputes,
+	})
+	if err != nil {
+		return nil, invalid("unencodable response: %v", err)
+	}
+	if durable {
+		if err := s.appendWAL(walRecord{
+			Op: "idem_update", Tenant: tenant, IdemKey: ikey, Key: key,
+			Created: !cached, Base: req.Base, Cells: req.Delta.Cells, Values: req.Delta.Values,
+			Status: http.StatusOK, Body: body, At: s.idem.now().UnixNano(),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	s.idem.finish(idemKey(tenant, ikey), http.StatusOK, body)
+	return body, nil
 }
 
 // restoreStream rebuilds one maintained stream from its snapshot image and
@@ -251,6 +388,50 @@ func (s *Server) replayRecord(raw []byte) error {
 			return fmt.Errorf("serve: apply record for tenant %q references a stream neither snapshot nor log opened", rec.Tenant)
 		}
 		return st.Apply(blowfish.Delta{Cells: rec.Cells, Values: rec.Values})
+	case "idem_answer":
+		if rec.State == nil {
+			return fmt.Errorf("serve: idem_answer record for tenant %q has no state", rec.Tenant)
+		}
+		if err := s.Accountant(rec.Tenant).RestoreState(*rec.State); err != nil {
+			return err
+		}
+		s.idem.install(idemKey(rec.Tenant, rec.IdemKey), idemEntry{Status: rec.Status, Body: rec.Body, At: rec.At})
+		return nil
+	case "idem_update":
+		var spec planKeySpec
+		if err := json.Unmarshal([]byte(rec.Key), &spec); err != nil {
+			return fmt.Errorf("serve: idem_update record has unparseable plan key: %w", err)
+		}
+		entry, exactKey, err := s.plan(spec.Policy, spec.Workload, spec.Options)
+		if err != nil {
+			return fmt.Errorf("serve: re-preparing plan for idem_update replay: %w", err)
+		}
+		skey := streamKey(rec.Tenant, exactKey)
+		if rec.Created {
+			base := rec.Base
+			if base == nil {
+				base = make([]float64, entry.plan.Domain())
+			}
+			// Overwrite, for the same reason the "open" case does: the WAL is
+			// always post-snapshot, so the record's history is the acknowledged
+			// history.
+			stream, err := entry.eng.OpenStream(entry.plan, base, blowfish.StreamOptions{})
+			if err != nil {
+				return fmt.Errorf("serve: reopening stream for idem_update replay: %w", err)
+			}
+			s.streams.put(skey, stream)
+		}
+		st, ok := s.streams.get(skey)
+		if !ok {
+			return fmt.Errorf("serve: idem_update record for tenant %q references a stream neither snapshot nor log opened", rec.Tenant)
+		}
+		if len(rec.Cells) > 0 {
+			if err := st.Apply(blowfish.Delta{Cells: rec.Cells, Values: rec.Values}); err != nil {
+				return err
+			}
+		}
+		s.idem.install(idemKey(rec.Tenant, rec.IdemKey), idemEntry{Status: rec.Status, Body: rec.Body, At: rec.At})
+		return nil
 	default:
 		return fmt.Errorf("serve: unknown WAL op %q", rec.Op)
 	}
@@ -284,6 +465,9 @@ func (s *Server) Recover() error {
 			if err := s.restoreStream(ss.Tenant, ss.Key, ss.State); err != nil {
 				return err
 			}
+		}
+		for _, is := range data.Idem {
+			s.idem.install(idemKey(is.Tenant, is.Key), idemEntry{Status: is.Status, Body: is.Body, At: is.At})
 		}
 	}
 	for _, raw := range rec.Records {
@@ -367,6 +551,13 @@ func (s *Server) snapshotLocked() error {
 			return
 		}
 		data.Streams = append(data.Streams, streamSnap{Tenant: tenant, Key: plankey, State: st.ExportState()})
+	})
+	s.idem.each(func(key string, ent idemEntry) {
+		tenant, ikey, ok := splitStreamKey(key)
+		if !ok {
+			return
+		}
+		data.Idem = append(data.Idem, idemSnap{Tenant: tenant, Key: ikey, Status: ent.Status, Body: ent.Body, At: ent.At})
 	})
 	payload, err := json.Marshal(data)
 	if err != nil {

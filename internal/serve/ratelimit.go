@@ -47,11 +47,13 @@ func newRateLimiter(qps float64, burst int, now func() time.Time) *rateLimiter {
 	return &rateLimiter{qps: qps, burst: float64(burst), now: now, buckets: map[string]*tokenBucket{}}
 }
 
-// allow spends one token from tenant's bucket, reporting false when the
-// bucket is empty. New tenants start with a full bucket.
-func (rl *rateLimiter) allow(tenant string) bool {
+// allow spends one token from tenant's bucket. When the bucket is empty it
+// reports false plus how long until the bucket refills to a whole token —
+// the Retry-After hint a well-behaved client sleeps for instead of
+// hammering. New tenants start with a full bucket.
+func (rl *rateLimiter) allow(tenant string) (bool, time.Duration) {
 	if rl == nil {
-		return true
+		return true, 0
 	}
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
@@ -69,8 +71,8 @@ func (rl *rateLimiter) allow(tenant string) bool {
 	}
 	b.last = now
 	if b.tokens < 1 {
-		return false
+		return false, time.Duration((1 - b.tokens) / rl.qps * float64(time.Second))
 	}
 	b.tokens--
-	return true
+	return true, 0
 }

@@ -45,6 +45,7 @@ import (
 	"math"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +83,24 @@ type Config struct {
 	// MaxBatch releases a batch early once this many requests are pending
 	// (default 64).
 	MaxBatch int
+	// MaxInFlight caps concurrently executing /v1/answer and /v1/update
+	// requests. Excess requests wait in a bounded deadline-aware queue (see
+	// MaxQueue) or are shed with HTTP 503, code "overloaded", and a
+	// Retry-After hint; requests needing a cold plan compile are shed before
+	// queued ones so cheap answers keep flowing under pressure. 0 disables
+	// the gate (unbounded concurrency).
+	MaxInFlight int
+	// MaxQueue bounds how many admitted-but-waiting requests may queue
+	// behind the in-flight cap; <= 0 defaults to 4×MaxInFlight. Ignored
+	// without MaxInFlight.
+	MaxQueue int
+	// IdemTTL bounds how long a recorded idempotent response stays
+	// replayable; 0 defaults to 15 minutes, negative keeps entries until
+	// IdemMax evicts them.
+	IdemTTL time.Duration
+	// IdemMax caps the number of recorded idempotent responses (oldest
+	// evicted first); <= 0 defaults to 4096.
+	IdemMax int
 	// Seed seeds the daemon's root noise source; 0 derives a seed from the
 	// wall clock. Fixed seeds make serving deterministic for tests.
 	Seed int64
@@ -125,6 +144,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch < 1 {
 		c.MaxBatch = 64
 	}
+	if c.IdemTTL == 0 {
+		c.IdemTTL = 15 * time.Minute
+	}
+	if c.IdemMax < 1 {
+		c.IdemMax = 4096
+	}
 	if c.Seed == 0 {
 		c.Seed = time.Now().UnixNano()
 	}
@@ -151,6 +176,16 @@ type Stats struct {
 	PlanCacheSize   int64 `json:"plan_cache_size"`
 	PlanEvictions   int64 `json:"plan_cache_evictions"`
 	Tenants         int64 `json:"tenants"`
+	// Failure-resilience counters: admitted-but-executing requests, work
+	// shed at the admission gate (queue full / cold compile under pressure
+	// vs deadline expired while queued), and the idempotency dedupe table
+	// (replayed responses, recorded responses, live entries).
+	InFlight     int64 `json:"in_flight"`
+	ShedOverload int64 `json:"shed_overload"`
+	ShedExpired  int64 `json:"shed_expired"`
+	IdemHits     int64 `json:"idem_hits"`
+	IdemRecorded int64 `json:"idem_recorded"`
+	IdemEntries  int64 `json:"idem_entries"`
 	// Durability counters; all zero when the daemon runs without a DataDir.
 	ReadOnly    bool  `json:"read_only"`
 	Snapshots   int64 `json:"snapshots"`
@@ -173,6 +208,13 @@ type Server struct {
 	engines *lru[*blowfish.Engine]
 	streams *lru[*blowfish.Stream]
 	limiter *rateLimiter // nil when rate limiting is disabled
+	gate    *gate        // nil when the in-flight cap is disabled
+	idem    *idemTable
+
+	// testSlow, when non-nil, runs inside every admitted answer request
+	// (after the gate, before any computation). Overload tests use it to
+	// hold slots; always nil in production.
+	testSlow func()
 
 	tenantMu sync.Mutex
 	tenants  map[string]*blowfish.Accountant
@@ -194,6 +236,9 @@ type Server struct {
 	stopSnap chan struct{}
 	snapDone chan struct{}
 	closed   sync.Once
+
+	shedOverload atomic.Int64
+	shedExpired  atomic.Int64
 
 	answered        atomic.Int64
 	requests        atomic.Int64
@@ -229,6 +274,8 @@ func New(cfg Config) *Server {
 		engines: newLRU[*blowfish.Engine](cfg.EngineCacheSize),
 		streams: newLRU[*blowfish.Stream](cfg.StreamCacheSize),
 		limiter: newRateLimiter(cfg.TenantQPS, cfg.TenantBurst, nil),
+		gate:    newGate(cfg.MaxInFlight, cfg.MaxQueue),
+		idem:    newIdemTable(cfg.IdemMax, cfg.IdemTTL, nil),
 		tenants: map[string]*blowfish.Accountant{},
 		src:     blowfish.NewSource(cfg.Seed),
 	}
@@ -287,6 +334,12 @@ func (s *Server) Stats() Stats {
 		PlanCacheSize:   int64(s.plans.len()),
 		PlanEvictions:   s.plans.evictions.Load(),
 		Tenants:         tenants,
+		InFlight:        int64(s.gate.inFlight()),
+		ShedOverload:    s.shedOverload.Load(),
+		ShedExpired:     s.shedExpired.Load(),
+		IdemHits:        s.idem.hits.Load(),
+		IdemRecorded:    s.idem.recorded.Load(),
+		IdemEntries:     int64(s.idem.size()),
 		ReadOnly:        s.readOnly.Load(),
 		Snapshots:       s.snapshots.Load(),
 		WALRecords:      s.walRecords.Load(),
@@ -315,15 +368,80 @@ func (s *Server) Accountant(tenant string) *blowfish.Accountant {
 // allowTenant runs the per-tenant rate limit, writing the 429
 // "rate_limited" rejection itself when the tenant's bucket is empty. It
 // runs before plan compilation and budget admission, so a rate-limited
-// request costs the daemon nothing.
+// request costs the daemon nothing. The rejection carries a Retry-After
+// header set to the bucket's refill time.
 func (s *Server) allowTenant(w http.ResponseWriter, tenant string) bool {
-	if s.limiter.allow(tenant) {
+	ok, wait := s.limiter.allow(tenant)
+	if ok {
 		return true
 	}
 	s.rejectedRate.Add(1)
+	setRetryAfter(w, wait)
 	writeError(w, http.StatusTooManyRequests, "rate_limited",
 		fmt.Sprintf("tenant %q exceeded the %g req/s rate limit; retry later", tenant, s.cfg.TenantQPS), nil)
 	return false
+}
+
+// retryAfterBudget is the Retry-After hint on 429 "budget_exhausted". The
+// exhaustion is permanent — retrying the same release can never succeed —
+// so the hint is a day: long enough that a naive retry loop effectively
+// stops, while the typed wire code tells real clients not to retry at all.
+const retryAfterBudget = 24 * time.Hour
+
+// retryAfterOverload is the Retry-After hint on 503 "overloaded" sheds.
+// Load shedding is transient; clients should back off briefly and retry.
+const retryAfterOverload = time.Second
+
+// setRetryAfter emits a Retry-After header of at least one second (the
+// header is integer delta-seconds; the daemon's own client also accepts
+// fractional values, but well-behaved third parties may not send them).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// idemKeyMaxLen bounds the Idempotency-Key header so the dedupe table and
+// its WAL records cannot be ballooned by a single request.
+const idemKeyMaxLen = 256
+
+// requestContext applies the request's deadline field: timeoutMS > 0 wraps
+// ctx with that deadline (the cancel must be deferred by the caller), and a
+// negative value is a validation error.
+func requestContext(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	switch {
+	case timeoutMS < 0:
+		return ctx, func() {}, invalid("timeout_ms must be >= 0, got %d", timeoutMS)
+	case timeoutMS == 0:
+		return ctx, func() {}, nil
+	default:
+		ctx, cancel := context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		return ctx, cancel, nil
+	}
+}
+
+// admit passes the request through the admission gate. cold requests (plan
+// not yet compiled) are shed first under pressure. It writes the 503
+// "overloaded" shed response (with Retry-After) itself; callers must call
+// release exactly once when it returns true.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, planKey string) (release func(), ok bool) {
+	release, err := s.gate.acquire(ctx, !s.plans.contains(planKey))
+	if err == nil {
+		return release, true
+	}
+	if errors.Is(err, errShedExpired) {
+		s.shedExpired.Add(1)
+	} else {
+		s.shedOverload.Add(1)
+	}
+	status, code := statusFor(err)
+	if code == "overloaded" {
+		setRetryAfter(w, retryAfterOverload)
+	}
+	writeError(w, status, code, err.Error(), nil)
+	return nil, false
 }
 
 // split derives one independent noise stream from the daemon's root source.
@@ -385,6 +503,11 @@ type AnswerRequest struct {
 	// (created and fed by POST /v1/update) instead of a request-supplied
 	// database; X must then be absent. 404 "no_stream" when none exists.
 	Stream bool `json:"stream,omitempty"`
+	// TimeoutMS is the caller's deadline for this request in milliseconds;
+	// work still unfinished when it expires is abandoned with HTTP 504
+	// "deadline_exceeded" (queued work is shed 503 "overloaded" instead).
+	// 0 means no request-level deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // BudgetInfo reports a tenant's ledger; the Remaining fields are omitted for
@@ -445,6 +568,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusConflict, "stream_exists"
 	case errors.Is(err, errReadOnly):
 		return http.StatusServiceUnavailable, "read_only"
+	case errors.Is(err, errOverloaded), errors.Is(err, errShedExpired):
+		return http.StatusServiceUnavailable, "overloaded"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
@@ -719,56 +844,111 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err), nil)
 		return
 	}
+	ctx, cancel, err := requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	tenant := req.Tenant
 	if tenant == "" {
 		tenant = "default"
 	}
+	ikey := r.Header.Get("Idempotency-Key")
+	if len(ikey) > idemKeyMaxLen {
+		s.fail(w, invalid("Idempotency-Key of %d bytes exceeds the %d-byte cap", len(ikey), idemKeyMaxLen))
+		return
+	}
 	if !s.allowTenant(w, tenant) {
 		return
 	}
-	entry, key, err := s.plan(req.Policy, req.Workload, req.Options)
+	key, hash, err := planKey(req.Policy, req.Workload, req.Options)
 	if err != nil {
-		s.errorCount.Add(1)
-		status, code := statusFor(err)
-		writeError(w, status, code, err.Error(), nil)
+		s.fail(w, err)
+		return
+	}
+	if ikey != "" {
+		// Replay or claim before admission: a replay costs no gate slot,
+		// and duplicate executions wait on the leader without holding one.
+		replay, _, err := s.idem.begin(ctx, idemKey(tenant, ikey))
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		if replay != nil {
+			writeRecorded(w, replay, true)
+			return
+		}
+		// The claim stands until finish records a response; abandoning a
+		// recorded key is a no-op, so the deferred release is unconditional
+		// and also covers panics (waiters take over instead of hanging).
+		defer s.idem.abandon(idemKey(tenant, ikey))
+	}
+	release, admitted := s.admit(ctx, w, key)
+	if !admitted {
+		return
+	}
+	defer release()
+	if s.testSlow != nil {
+		s.testSlow()
+	}
+	entry, _, err := s.plan(req.Policy, req.Workload, req.Options)
+	if err != nil {
+		s.fail(w, err)
 		return
 	}
 	pl := entry.plan
 	if req.Stream {
-		s.answerStream(w, r, tenant, key, &req, pl)
+		s.answerStream(ctx, w, tenant, key, ikey, hash, &req, pl)
 		return
 	}
 	// Validate the request fully before admission so a rejected request
 	// never spends budget.
 	if len(req.X) != pl.Domain() {
-		s.errorCount.Add(1)
-		err := fmt.Errorf("serve: database size %d != policy domain %d: %w",
-			len(req.X), pl.Domain(), blowfish.ErrDomainMismatch)
-		status, code := statusFor(err)
-		writeError(w, status, code, err.Error(), nil)
+		s.fail(w, fmt.Errorf("serve: database size %d != policy domain %d: %w",
+			len(req.X), pl.Domain(), blowfish.ErrDomainMismatch))
+		return
+	}
+	acct := s.Accountant(tenant)
+	if ikey != "" {
+		// Exactly-once path: compute first (noise is drawn but nothing is
+		// released to the caller), then charge + record the canonical
+		// response as one durable WAL record under the ledger mutex, then
+		// reply with the recorded bytes. A crash loses either everything
+		// (retry executes fresh) or nothing (retry replays these bytes).
+		out, err := pl.AnswerWith(ctx, nil, req.X, req.Epsilon, s.split())
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		body, err := s.chargeRecorded(tenant, ikey, acct, pl.Cost(req.Epsilon), func(info BudgetInfo) ([]byte, error) {
+			return json.Marshal(AnswerResponse{
+				Algorithm: pl.Algorithm(),
+				Answers:   out,
+				Batched:   1,
+				PlanKey:   hash,
+				Budget:    info,
+			})
+		})
+		if err != nil {
+			s.chargeFail(w, acct, err)
+			return
+		}
+		s.answered.Add(1)
+		writeRecorded(w, &idemEntry{Status: http.StatusOK, Body: body}, false)
 		return
 	}
 	// Admission control: charge the tenant's ledger before any computation
 	// (write-ahead when the daemon is durable).
-	acct := s.Accountant(tenant)
 	if err := s.chargeTenant(tenant, acct, pl.Cost(req.Epsilon)); err != nil {
-		status, code := statusFor(err)
-		if errors.Is(err, blowfish.ErrBudgetExhausted) {
-			s.rejectedBudget.Add(1)
-		} else {
-			s.errorCount.Add(1)
-		}
-		// Graceful degradation: the rejection carries the remaining budget
-		// so clients can tell "out of budget" from "slow down".
-		info := budgetInfo(acct)
-		writeError(w, status, code, err.Error(), &info)
+		s.chargeFail(w, acct, err)
 		return
 	}
 	var res batchResult
 	if entry.batcher != nil {
-		res = entry.batcher.submit(r.Context(), req.X, req.Epsilon)
+		res = entry.batcher.submit(ctx, req.X, req.Epsilon)
 	} else {
-		out, err := pl.AnswerWith(r.Context(), nil, req.X, req.Epsilon, s.split())
+		out, err := pl.AnswerWith(ctx, nil, req.X, req.Epsilon, s.split())
 		res = batchResult{answers: out, batched: 1, err: err}
 	}
 	if res.err != nil {
@@ -778,7 +958,6 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.answered.Add(1)
-	_, hash, _ := planKey(req.Policy, req.Workload, req.Options)
 	writeJSON(w, http.StatusOK, AnswerResponse{
 		Algorithm: pl.Algorithm(),
 		Answers:   res.answers,
@@ -786,4 +965,57 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		PlanKey:   hash,
 		Budget:    budgetInfo(acct),
 	})
+}
+
+// chargeFail reports a failed budget charge: exhaustion carries the
+// remaining ledger (so clients can tell "out of budget" from "slow down")
+// plus a long Retry-After — the exhaustion is permanent and retrying can
+// never help.
+func (s *Server) chargeFail(w http.ResponseWriter, acct *blowfish.Accountant, err error) {
+	status, code := statusFor(err)
+	if errors.Is(err, blowfish.ErrBudgetExhausted) {
+		s.rejectedBudget.Add(1)
+		setRetryAfter(w, retryAfterBudget)
+	} else {
+		s.errorCount.Add(1)
+	}
+	info := budgetInfo(acct)
+	writeError(w, status, code, err.Error(), &info)
+}
+
+// writeRecorded writes a canonical recorded response verbatim; replays are
+// marked with an Idempotent-Replay header so clients (and tests) can tell
+// a dedupe hit from a fresh execution.
+func writeRecorded(w http.ResponseWriter, ent *idemEntry, replay bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if replay {
+		w.Header().Set("Idempotent-Replay", "true")
+	}
+	w.WriteHeader(ent.Status)
+	_, _ = w.Write(ent.Body)
+}
+
+// budgetInfoFromState is budgetInfo over an exported ledger state — the
+// idempotent path builds the canonical response from the tentative
+// post-charge state inside the commit hook, before the spend is visible.
+func budgetInfoFromState(st blowfish.AccountantState) BudgetInfo {
+	info := BudgetInfo{
+		SpentEpsilon: st.Spent.Epsilon,
+		SpentDelta:   st.Spent.Delta,
+		Releases:     st.Releases,
+	}
+	if st.Budget.Epsilon != 0 || st.Budget.Delta != 0 {
+		info.Limited = true
+		re := st.Budget.Epsilon - st.Spent.Epsilon
+		rd := st.Budget.Delta - st.Spent.Delta
+		if re < 0 {
+			re = 0
+		}
+		if rd < 0 {
+			rd = 0
+		}
+		info.RemainingEpsilon = &re
+		info.RemainingDelta = &rd
+	}
+	return info
 }

@@ -14,8 +14,8 @@ package serve
 // is charged when the stream is answered.
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 
@@ -40,6 +40,9 @@ type UpdateRequest struct {
 	Options  OptionsSpec  `json:"options"`
 	Base     []float64    `json:"base,omitempty"`
 	Delta    DeltaSpec    `json:"delta"`
+	// TimeoutMS is the caller's deadline in milliseconds; see
+	// AnswerRequest.TimeoutMS.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // UpdateResponse is the body of a successful POST /v1/update.
@@ -66,18 +69,49 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err), nil)
 		return
 	}
+	ctx, cancel, err := requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	tenant := req.Tenant
 	if tenant == "" {
 		tenant = "default"
 	}
+	ikey := r.Header.Get("Idempotency-Key")
+	if len(ikey) > idemKeyMaxLen {
+		s.fail(w, invalid("Idempotency-Key of %d bytes exceeds the %d-byte cap", len(ikey), idemKeyMaxLen))
+		return
+	}
 	if !s.allowTenant(w, tenant) {
 		return
 	}
-	entry, key, err := s.plan(req.Policy, req.Workload, req.Options)
+	key, hash, err := planKey(req.Policy, req.Workload, req.Options)
 	if err != nil {
-		s.errorCount.Add(1)
-		status, code := statusFor(err)
-		writeError(w, status, code, err.Error(), nil)
+		s.fail(w, err)
+		return
+	}
+	if ikey != "" {
+		replay, _, err := s.idem.begin(ctx, idemKey(tenant, ikey))
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		if replay != nil {
+			writeRecorded(w, replay, true)
+			return
+		}
+		defer s.idem.abandon(idemKey(tenant, ikey))
+	}
+	release, admitted := s.admit(ctx, w, key)
+	if !admitted {
+		return
+	}
+	defer release()
+	entry, _, err := s.plan(req.Policy, req.Workload, req.Options)
+	if err != nil {
+		s.fail(w, err)
 		return
 	}
 	pl := entry.plan
@@ -99,6 +133,20 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if ikey != "" {
+		body, err := s.updateStreamIdem(entry, tenant, key, ikey, hash, &req)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		s.updates.Add(1)
+		writeRecorded(w, &idemEntry{Status: http.StatusOK, Body: body}, false)
+		return
+	}
 	st, created, err := s.updateStream(entry, tenant, key, &req)
 	if err != nil {
 		s.fail(w, err)
@@ -106,7 +154,6 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.updates.Add(1)
 	stats := st.Stats()
-	_, hash, _ := planKey(req.Policy, req.Workload, req.Options)
 	writeJSON(w, http.StatusOK, UpdateResponse{
 		PlanKey:    hash,
 		Created:    created,
@@ -119,8 +166,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // answerStream serves an AnswerRequest with Stream set: the release runs
 // over the tenant's maintained stream for the plan instead of a
 // request-supplied database. Admission control is identical to the static
-// path — the tenant's ledger is charged before any computation.
-func (s *Server) answerStream(w http.ResponseWriter, r *http.Request, tenant, key string, req *AnswerRequest, pl *blowfish.Plan) {
+// path; with an idempotency key the charge and canonical response commit
+// as one WAL record after the release is computed (see chargeRecorded).
+func (s *Server) answerStream(ctx context.Context, w http.ResponseWriter, tenant, key, ikey, hash string, req *AnswerRequest, pl *blowfish.Plan) {
 	if req.X != nil {
 		s.fail(w, invalid(`a "stream": true request answers the maintained stream; x must be absent`))
 		return
@@ -133,25 +181,41 @@ func (s *Server) answerStream(w http.ResponseWriter, r *http.Request, tenant, ke
 		return
 	}
 	acct := s.Accountant(tenant)
-	if err := s.chargeTenant(tenant, acct, pl.Cost(req.Epsilon)); err != nil {
-		status, code := statusFor(err)
-		if errors.Is(err, blowfish.ErrBudgetExhausted) {
-			s.rejectedBudget.Add(1)
-		} else {
-			s.errorCount.Add(1)
+	if ikey != "" {
+		out, err := st.AnswerWith(ctx, nil, req.Epsilon, s.split())
+		if err != nil {
+			s.fail(w, err)
+			return
 		}
-		info := budgetInfo(acct)
-		writeError(w, status, code, err.Error(), &info)
+		body, err := s.chargeRecorded(tenant, ikey, acct, pl.Cost(req.Epsilon), func(info BudgetInfo) ([]byte, error) {
+			return json.Marshal(AnswerResponse{
+				Algorithm: pl.Algorithm(),
+				Answers:   out,
+				Batched:   1,
+				PlanKey:   hash,
+				Budget:    info,
+			})
+		})
+		if err != nil {
+			s.chargeFail(w, acct, err)
+			return
+		}
+		s.answered.Add(1)
+		s.streamAnswers.Add(1)
+		writeRecorded(w, &idemEntry{Status: http.StatusOK, Body: body}, false)
 		return
 	}
-	out, err := st.AnswerWith(r.Context(), nil, req.Epsilon, s.split())
+	if err := s.chargeTenant(tenant, acct, pl.Cost(req.Epsilon)); err != nil {
+		s.chargeFail(w, acct, err)
+		return
+	}
+	out, err := st.AnswerWith(ctx, nil, req.Epsilon, s.split())
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	s.answered.Add(1)
 	s.streamAnswers.Add(1)
-	_, hash, _ := planKey(req.Policy, req.Workload, req.Options)
 	writeJSON(w, http.StatusOK, AnswerResponse{
 		Algorithm: pl.Algorithm(),
 		Answers:   out,

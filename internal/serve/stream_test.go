@@ -235,7 +235,7 @@ func TestRateLimiterDefaults(t *testing.T) {
 		t.Fatal("qps=0 must disable rate limiting")
 	}
 	var disabled *rateLimiter
-	if !disabled.allow("anyone") {
+	if ok, _ := disabled.allow("anyone"); !ok {
 		t.Fatal("nil limiter must admit everything")
 	}
 	if rl := newRateLimiter(2.5, 0, nil); rl.burst != 3 {

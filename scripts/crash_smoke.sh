@@ -1,19 +1,24 @@
 #!/bin/sh
-# Kill -9 / restart smoke for the durable daemon: budget ledgers and stream
-# state must survive both a hard kill (WAL replay) and a graceful SIGTERM
-# (final snapshot, nothing to replay). Run via `make crash`; CI runs it on
+# Kill -9 / restart smoke for the durable daemon: budget ledgers, stream
+# state, and the idempotency table must survive both a hard kill (WAL
+# replay) and a graceful SIGTERM (final snapshot, nothing to replay). All
+# traffic goes through blowfishctl — the real client with retries and
+# idempotency keys — not bare curl, so the smoke exercises the same retry
+# discipline production callers get. Run via `make crash`; CI runs it on
 # every matrix leg.
 set -eu
 
 PORT="${PORT:-18091}"
 BASE="http://127.0.0.1:$PORT"
 DATADIR="$(mktemp -d)"
-BIN="$(mktemp -d)/blowfishd"
+BINDIR="$(mktemp -d)"
+BD="$BINDIR/blowfishd"
+CTL="$BINDIR/blowfishctl"
 BD_PID=""
 
 cleanup() {
     [ -n "$BD_PID" ] && kill -9 "$BD_PID" 2>/dev/null || true
-    rm -rf "$DATADIR" "$(dirname "$BIN")"
+    rm -rf "$DATADIR" "$BINDIR"
 }
 trap cleanup EXIT
 
@@ -23,33 +28,28 @@ fail() {
 }
 
 start_daemon() {
-    "$BIN" -addr "127.0.0.1:$PORT" -seed 1 -data-dir "$DATADIR" -snapshot-interval -1s &
+    "$BD" -addr "127.0.0.1:$PORT" -seed 1 -data-dir "$DATADIR" -snapshot-interval -1s &
     BD_PID=$!
 }
 
-wait_ready() {
-    i=0
-    while [ $i -lt 100 ]; do
-        if curl -sf "$BASE/readyz" > /dev/null 2>&1; then
-            return 0
-        fi
-        sleep 0.1
-        i=$((i + 1))
-    done
-    fail "daemon never became ready"
+ctl() {
+    "$CTL" -base "$BASE" "$@"
 }
 
-go build -o "$BIN" ./cmd/blowfishd
+go build -o "$BD" ./cmd/blowfishd
+go build -o "$CTL" ./cmd/blowfishctl
 
 # --- first life: build state ---
 start_daemon
-wait_ready
+ctl wait-ready || fail "daemon never became ready"
 
 ubody='{"tenant":"carol","policy":{"kind":"line","k":4},"workload":{"kind":"histogram"},"base":[1,2,3,4],"delta":{"cells":[2],"values":[10]}}'
-curl -sf -X POST "$BASE/v1/update" -d "$ubody" | grep -q '"created":true' || fail "stream create"
+echo "$ubody" | ctl update - | grep -q '"created":true' || fail "stream create"
 abody='{"tenant":"carol","policy":{"kind":"line","k":4},"workload":{"kind":"histogram"},"epsilon":0.3,"x":[0,0,0,0]}'
-curl -sf -X POST "$BASE/v1/answer" -d "$abody" > /dev/null || fail "charged answer"
-curl -sf "$BASE/v1/budget?tenant=carol" | grep -q '"spent_epsilon":0.3' || fail "spend before kill"
+# Pin the idempotency key so the replay across the kill below can be
+# compared byte-for-byte against this original response.
+FIRST="$(ctl -key smoke-pinned answer "$abody")" || fail "charged answer"
+ctl budget carol | grep -q '"spent_epsilon":0.3' || fail "spend before kill"
 
 # --- hard kill: no snapshot, recovery must come from the WAL ---
 kill -9 "$BD_PID"
@@ -57,31 +57,40 @@ wait "$BD_PID" 2>/dev/null || true
 BD_PID=""
 
 start_daemon
-wait_ready
-curl -sf "$BASE/v1/budget?tenant=carol" | grep -q '"spent_epsilon":0.3' \
+ctl wait-ready || fail "daemon never became ready after kill -9"
+ctl budget carol | grep -q '"spent_epsilon":0.3' \
     || fail "budget lost across kill -9"
 sbody='{"tenant":"carol","policy":{"kind":"line","k":4},"workload":{"kind":"histogram"},"epsilon":0,"stream":true}'
-curl -sf -X POST "$BASE/v1/answer" -d "$sbody" | grep -q '"answers":\[1,2,13,4\]' \
+ctl answer "$sbody" | grep -q '"answers":\[1,2,13,4\]' \
     || fail "stream state lost across kill -9"
+# Replaying the pinned key must return the original bytes — same noise,
+# zero extra spend — even though the daemon restarted in between.
+REPLAY="$(ctl -key smoke-pinned answer "$abody")" || fail "idempotent replay request"
+[ "$REPLAY" = "$FIRST" ] || fail "idempotent replay not byte-identical across kill -9"
+ctl budget carol | grep -q '"spent_epsilon":0.3' \
+    || fail "idempotent replay spent budget"
 
 # --- graceful SIGTERM: final snapshot retires the WAL ---
 ubody2='{"tenant":"carol","policy":{"kind":"line","k":4},"workload":{"kind":"histogram"},"delta":{"cells":[0],"values":[1]}}'
-curl -sf -X POST "$BASE/v1/update" -d "$ubody2" > /dev/null || fail "post-recovery delta"
+ctl update "$ubody2" > /dev/null || fail "post-recovery delta"
 kill -TERM "$BD_PID"
 wait "$BD_PID" 2>/dev/null || true
 BD_PID=""
 
 start_daemon
-wait_ready
-curl -sf "$BASE/v1/stats" | grep -q '"wal_replayed":0' \
+ctl wait-ready || fail "daemon never became ready after SIGTERM"
+ctl stats | grep -q '"wal_replayed":0' \
     || fail "clean shutdown should leave nothing to replay"
-curl -sf "$BASE/v1/budget?tenant=carol" | grep -q '"spent_epsilon":0.3' \
+ctl budget carol | grep -q '"spent_epsilon":0.3' \
     || fail "budget lost across graceful restart"
-curl -sf -X POST "$BASE/v1/answer" -d "$sbody" | grep -q '"answers":\[2,2,13,4\]' \
+ctl answer "$sbody" | grep -q '"answers":\[2,2,13,4\]' \
     || fail "stream state lost across graceful restart"
+# The dedupe table rode the snapshot: the pinned key still replays.
+REPLAY2="$(ctl -key smoke-pinned answer "$abody")" || fail "replay after snapshot restart"
+[ "$REPLAY2" = "$FIRST" ] || fail "idempotent replay not byte-identical across snapshot restart"
 
 kill -TERM "$BD_PID"
 wait "$BD_PID" 2>/dev/null || true
 BD_PID=""
 
-echo "crash_smoke: OK (kill -9 replayed the WAL, SIGTERM snapshot restarted clean)"
+echo "crash_smoke: OK (kill -9 replayed the WAL, idempotent replays stayed byte-identical, SIGTERM snapshot restarted clean)"
